@@ -1,0 +1,364 @@
+// Package ethpart's root benchmark harness regenerates every table and
+// figure of the paper at benchmark scale and reports the headline metrics
+// alongside wall-clock cost:
+//
+//	go test -bench=. -benchmem
+//
+// One benchmark exists per figure (Fig. 1, 3a, 3b, 4, 5) plus one per
+// ablation called out in DESIGN.md §5 (matching scheme, FM refinement,
+// placement rule, R-METIS window length, TR-METIS thresholds). Benchmarks
+// share one synthetic history, generated once, so the comparisons run on
+// identical input — the same discipline the experiments binary uses.
+package ethpart
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ethpart/internal/experiments"
+	"ethpart/internal/graph"
+	"ethpart/internal/partition"
+	"ethpart/internal/partition/multilevel"
+	"ethpart/internal/sim"
+	"ethpart/internal/workload"
+)
+
+// benchParams is the shared benchmark-scale configuration: the full
+// Aug-2015→Jan-2018 era schedule at a scale that keeps one simulation run
+// in seconds.
+var benchParams = experiments.Params{
+	Seed:          1,
+	Scale:         0.002,
+	BlockInterval: 2 * time.Hour,
+}
+
+var (
+	benchOnce sync.Once
+	benchDS   *experiments.Dataset
+	benchErr  error
+)
+
+// dataset lazily generates the shared history.
+func dataset(b *testing.B) *experiments.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDS, benchErr = experiments.NewDataset(benchParams)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDS
+}
+
+// fullGraph builds the final cumulative graph of the shared history.
+func fullGraph(b *testing.B, ds *experiments.Dataset) *graph.CSR {
+	b.Helper()
+	g := graph.New()
+	for _, rec := range ds.GT.Records {
+		if err := rec.Apply(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return graph.NewCSR(g)
+}
+
+// replayFresh runs one full simulation outside the dataset cache so that
+// b.N iterations measure real work.
+func replayFresh(b *testing.B, ds *experiments.Dataset, cfg sim.Config) *sim.Result {
+	b.Helper()
+	res, err := sim.Replay(ds.GT, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig1GraphEvolution regenerates Fig. 1: the monthly growth curve
+// of the blockchain graph, with the era markers and the growth-rate fits.
+func BenchmarkFig1GraphEvolution(b *testing.B) {
+	ds := dataset(b)
+	b.ResetTimer()
+	var rows []experiments.Fig1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = ds.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.Vertices), "final-vertices")
+	b.ReportMetric(float64(last.Edges), "final-edges")
+	split := time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC)
+	if pre, post, err := experiments.Fig1GrowthFit(rows, split); err == nil {
+		b.ReportMetric(pre, "pre-attack-rate")
+		b.ReportMetric(post, "post-attack-rate")
+	}
+}
+
+// BenchmarkFig3Hashing regenerates Fig. 3a: hashing at k=2 over 4-hour
+// windows. The paper's shape: static cut ≈ 0.5, optimum static balance,
+// zero moves.
+func BenchmarkFig3Hashing(b *testing.B) {
+	ds := dataset(b)
+	b.ResetTimer()
+	var res *sim.Result
+	for i := 0; i < b.N; i++ {
+		res = replayFresh(b, ds, sim.Config{Method: sim.MethodHash, K: 2})
+	}
+	b.StopTimer()
+	b.ReportMetric(res.OverallDynamicCut, "dyn-cut")
+	b.ReportMetric(res.FinalStaticBalance, "static-balance")
+	b.ReportMetric(float64(res.TotalMoves), "moves")
+}
+
+// BenchmarkFig3Metis regenerates Fig. 3b: the multilevel (METIS) method at
+// k=2 with two-week repartitioning. The paper's shape: much lower edge-cut
+// than hashing at the cost of dynamic imbalance.
+func BenchmarkFig3Metis(b *testing.B) {
+	ds := dataset(b)
+	b.ResetTimer()
+	var res *sim.Result
+	for i := 0; i < b.N; i++ {
+		res = replayFresh(b, ds, sim.Config{Method: sim.MethodMetis, K: 2})
+	}
+	b.StopTimer()
+	b.ReportMetric(res.OverallDynamicCut, "dyn-cut")
+	b.ReportMetric(res.OverallDynamicBalance, "dyn-balance")
+	b.ReportMetric(float64(res.TotalMoves), "moves")
+	b.ReportMetric(float64(res.Repartitions), "repartitions")
+}
+
+// BenchmarkFig4MethodComparison regenerates Fig. 4: all five methods at
+// k ∈ {2, 8}, summarised over the 2017 sub-periods.
+func BenchmarkFig4MethodComparison(b *testing.B) {
+	ds := dataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{2, 8} {
+			for _, m := range sim.Methods() {
+				replayFresh(b, ds, sim.Config{Method: m, K: k})
+			}
+		}
+	}
+}
+
+// BenchmarkFig5ShardSweep regenerates Fig. 5: the k ∈ {2,4,8} sweep. The
+// paper's shape: dynamic edge-cut worsens with k for every method;
+// METIS-family beats hashing and KL on cut; hashing and KL win on balance.
+func BenchmarkFig5ShardSweep(b *testing.B) {
+	ds := dataset(b)
+	b.ResetTimer()
+	var hash2, hash8, metis8 *sim.Result
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{2, 4, 8} {
+			for _, m := range sim.Methods() {
+				res := replayFresh(b, ds, sim.Config{Method: m, K: k})
+				switch {
+				case m == sim.MethodHash && k == 2:
+					hash2 = res
+				case m == sim.MethodHash && k == 8:
+					hash8 = res
+				case m == sim.MethodMetis && k == 8:
+					metis8 = res
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(hash2.OverallDynamicCut, "hash-k2-cut")
+	b.ReportMetric(hash8.OverallDynamicCut, "hash-k8-cut")
+	b.ReportMetric(metis8.OverallDynamicCut, "metis-k8-cut")
+}
+
+// BenchmarkAblationMatching compares heavy-edge matching against random
+// matching in the coarsening phase (DESIGN.md §5).
+func BenchmarkAblationMatching(b *testing.B) {
+	ds := dataset(b)
+	csr := fullGraph(b, ds)
+	for _, mode := range []struct {
+		name   string
+		random bool
+	}{{"heavy-edge", false}, {"random", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := multilevel.New(multilevel.Config{Seed: 3, RandomMatching: mode.random})
+			var parts []int
+			for i := 0; i < b.N; i++ {
+				var err error
+				parts, err = p.Partition(csr, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cutOf(csr, parts), "dyn-cut")
+		})
+	}
+}
+
+// BenchmarkAblationRefinement compares the full pipeline against one with
+// FM refinement disabled (DESIGN.md §5).
+func BenchmarkAblationRefinement(b *testing.B) {
+	ds := dataset(b)
+	csr := fullGraph(b, ds)
+	for _, mode := range []struct {
+		name string
+		skip bool
+	}{{"with-fm", false}, {"no-fm", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := multilevel.New(multilevel.Config{Seed: 3, SkipRefinement: mode.skip})
+			var parts []int
+			for i := 0; i < b.N; i++ {
+				var err error
+				parts, err = p.Partition(csr, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cutOf(csr, parts), "dyn-cut")
+		})
+	}
+}
+
+// BenchmarkAblationPlacement compares the paper's min-cut/tie-balance
+// placement of new vertices against hash placement under R-METIS
+// (DESIGN.md §5).
+func BenchmarkAblationPlacement(b *testing.B) {
+	ds := dataset(b)
+	for _, mode := range []struct {
+		name string
+		hash bool
+	}{{"min-cut-rule", false}, {"hash-placement", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				res = replayFresh(b, ds, sim.Config{
+					Method: sim.MethodRMetis, K: 4, HashPlacement: mode.hash,
+				})
+			}
+			b.ReportMetric(res.OverallDynamicCut, "dyn-cut")
+			b.ReportMetric(res.OverallDynamicBalance, "dyn-balance")
+		})
+	}
+}
+
+// BenchmarkAblationWindow sweeps the R-METIS repartitioning window
+// (DESIGN.md §5). Shorter windows track the workload more closely but move
+// more state.
+func BenchmarkAblationWindow(b *testing.B) {
+	ds := dataset(b)
+	for _, span := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"1-week", 7 * 24 * time.Hour},
+		{"2-weeks", 14 * 24 * time.Hour},
+		{"4-weeks", 28 * 24 * time.Hour},
+	} {
+		b.Run(span.name, func(b *testing.B) {
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				res = replayFresh(b, ds, sim.Config{
+					Method: sim.MethodRMetis, K: 4, RepartitionEvery: span.d,
+				})
+			}
+			b.ReportMetric(res.OverallDynamicCut, "dyn-cut")
+			b.ReportMetric(float64(res.TotalMoves), "moves")
+			b.ReportMetric(float64(res.Repartitions), "repartitions")
+		})
+	}
+}
+
+// BenchmarkAblationThresholds sweeps TR-METIS trigger thresholds
+// (DESIGN.md §5): tighter thresholds fire more repartitions and move more
+// vertices for a better cut.
+func BenchmarkAblationThresholds(b *testing.B) {
+	ds := dataset(b)
+	for _, th := range []struct {
+		name string
+		cut  float64
+	}{
+		{"cut-0.40", 0.40},
+		{"cut-0.55", 0.55},
+		{"cut-0.70", 0.70},
+	} {
+		b.Run(th.name, func(b *testing.B) {
+			var res *sim.Result
+			for i := 0; i < b.N; i++ {
+				res = replayFresh(b, ds, sim.Config{
+					Method: sim.MethodTRMetis, K: 4,
+					CutThreshold: th.cut, BalanceThreshold: 2.5,
+				})
+			}
+			b.ReportMetric(res.OverallDynamicCut, "dyn-cut")
+			b.ReportMetric(float64(res.TotalMoves), "moves")
+			b.ReportMetric(float64(res.Repartitions), "repartitions")
+		})
+	}
+}
+
+// BenchmarkStreamingBaselines compares the one-pass streaming partitioners
+// (LDG, Fennel) against hashing and the multilevel partitioner on the final
+// graph — the quality/latency spectrum from stateless to offline.
+func BenchmarkStreamingBaselines(b *testing.B) {
+	ds := dataset(b)
+	csr := fullGraph(b, ds)
+	for _, cand := range []struct {
+		name string
+		p    partition.Partitioner
+	}{
+		{"hash", partition.Hash{}},
+		{"ldg", partition.LDG{}},
+		{"fennel", partition.Fennel{}},
+		{"multilevel", multilevel.New(multilevel.Config{Seed: 3})},
+	} {
+		b.Run(cand.name, func(b *testing.B) {
+			var parts []int
+			for i := 0; i < b.N; i++ {
+				var err error
+				parts, err = cand.p.Partition(csr, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cutOf(csr, parts), "dyn-cut")
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures the synthetic-history generator
+// itself (chain + EVM execution throughput).
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gt, err := sim.Generate(workload.Config{
+			Seed: int64(i + 1), Scale: 0.0005, BlockInterval: 4 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(gt.Records)), "records")
+	}
+}
+
+// cutOf computes the weighted cut fraction of a one-shot partition.
+func cutOf(c *graph.CSR, parts []int) float64 {
+	var cut, total int64
+	for u := int32(0); int(u) < c.N(); u++ {
+		adj, w := c.Row(u)
+		for p, v := range adj {
+			if v <= u {
+				continue
+			}
+			total += w[p]
+			if parts[u] != parts[v] {
+				cut += w[p]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cut) / float64(total)
+}

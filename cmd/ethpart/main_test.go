@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ethpart/internal/sim"
+	"ethpart/internal/trace"
+	"ethpart/internal/workload"
+)
+
+// writeTestTrace generates a small trace CSV on disk.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	eras := []workload.Era{{
+		Name:          "mini",
+		Start:         time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:           time.Date(2017, 1, 8, 0, 0, 0, 0, time.UTC),
+		TxPerDayStart: 10_000, TxPerDayEnd: 10_000, Kind: workload.GrowthLinear,
+		NewAccountFrac: 0.2, DeploysPerDay: 5,
+		Mix: workload.TxMix{Transfer: 0.6, Token: 0.2, Wallet: 0.1, Crowdsale: 0.05, Game: 0.03, Airdrop: 0.02},
+	}}
+	gt, err := sim.Generate(workload.Config{Seed: 5, Scale: 0.05, Eras: eras, BlockInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewCSVWriter(f)
+	for _, rec := range gt.Records {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -trace must error")
+	}
+	if err := run([]string{"-trace", "x.csv", "-method", "bogus"}); err == nil {
+		t.Error("bad method must error")
+	}
+}
+
+func TestReplayEachMethod(t *testing.T) {
+	path := writeTestTrace(t)
+	for _, method := range []string{"hash", "kl", "metis", "r-metis", "tr-metis"} {
+		err := run([]string{
+			"-trace", path, "-method", method, "-k", "4",
+			"-repartition", "48h",
+		})
+		if err != nil {
+			t.Errorf("%s: %v", method, err)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Command experiments regenerates the paper's figures from a synthetic
+// Ethereum history. Each subcommand prints a human-readable rendering to
+// stdout and, with -csv, writes machine-readable CSV files.
+//
+// Usage:
+//
+//	experiments [flags] fig1|fig2|fig3|fig4|fig5|all
+//
+// Flags:
+//
+//	-seed N      history seed (default 1)
+//	-scale F     workload scale (default 0.004)
+//	-csv DIR     also write CSV files into DIR
+//	-method M    fig3 method: hash|kl|metis|r-metis|tr-metis (default both
+//	             hash and metis, as in the paper)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"ethpart/internal/experiments"
+	"ethpart/internal/report"
+	"ethpart/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "history seed")
+	scale := fs.Float64("scale", 0.004, "workload scale")
+	csvDir := fs.String("csv", "", "directory for CSV output (optional)")
+	method := fs.String("method", "", "fig3 method (default: hash and metis)")
+	k := fs.Int("k", 4, "shard count for the extension subcommands")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected one subcommand: fig1|fig2|fig3|fig4|fig5|costs|shardaware|all")
+	}
+	cmd := fs.Arg(0)
+
+	// shardaware generates its own pair of histories.
+	if cmd == "shardaware" {
+		return shardaware(*seed, *scale, output{dir: *csvDir}, *k)
+	}
+
+	fmt.Printf("generating synthetic history (seed=%d scale=%g)...\n", *seed, *scale)
+	start := time.Now()
+	ds, err := experiments.NewDataset(experiments.Params{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("history ready in %v: %s interactions, %s vertices\n\n",
+		time.Since(start).Round(time.Millisecond),
+		report.FormatCount(int64(len(ds.GT.Records))),
+		report.FormatCount(int64(ds.GT.Registry.Len())))
+
+	out := output{dir: *csvDir}
+	switch cmd {
+	case "fig1":
+		return fig1(ds, out)
+	case "fig2":
+		return fig2(ds)
+	case "fig3":
+		return fig3(ds, out, *method)
+	case "fig4":
+		return fig4(ds, out)
+	case "fig5":
+		return fig5(ds, out)
+	case "costs":
+		return costs(ds, out, *k)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return fig1(ds, out) },
+			func() error { return fig2(ds) },
+			func() error { return fig3(ds, out, *method) },
+			func() error { return fig4(ds, out) },
+			func() error { return fig5(ds, out) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// output optionally writes CSVs next to the stdout rendering.
+type output struct{ dir string }
+
+func (o output) csv(name string, headers []string, rows [][]string) error {
+	if o.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(o.dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.CSV(f, headers, rows); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", filepath.Join(o.dir, name))
+	return nil
+}
+
+func fig1(ds *experiments.Dataset, out output) error {
+	fmt.Println("=== Fig 1: Ethereum graph evolution (vertices and edges per month) ===")
+	rows, eras, err := ds.Fig1()
+	if err != nil {
+		return err
+	}
+	var verts, edges []float64
+	var table [][]string
+	for _, r := range rows {
+		verts = append(verts, float64(r.Vertices))
+		edges = append(edges, float64(r.Edges))
+		table = append(table, []string{
+			r.Month.Format("01.06"),
+			report.FormatCount(r.Vertices),
+			report.FormatCount(r.Edges),
+		})
+	}
+	if err := report.Table(os.Stdout, []string{"month", "vertices", "edges"}, table); err != nil {
+		return err
+	}
+	fmt.Printf("\n  vertices (log): %s\n", report.SparklineLog(verts))
+	fmt.Printf("  edges    (log): %s\n", report.SparklineLog(edges))
+	for _, e := range eras {
+		fmt.Printf("  era %-10s %s -> %s\n", e.Name,
+			e.Start.Format("01.06"), e.End.Format("01.06"))
+	}
+	split := time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC)
+	pre, post, err := experiments.Fig1GrowthFit(rows, split)
+	if err == nil {
+		fmt.Printf("  edge growth rate: %.3f/month pre-attack (exponential), %.3f/month after (slower)\n", pre, post)
+	}
+	return out.csv("fig1.csv", []string{"month", "vertices", "edges"}, table)
+}
+
+func fig2(ds *experiments.Dataset) error {
+	fmt.Println("=== Fig 2: example subgraph (DOT) ===")
+	return ds.Fig2(os.Stdout, 24)
+}
+
+func fig3(ds *experiments.Dataset, out output, methodFlag string) error {
+	methods := []sim.Method{sim.MethodHash, sim.MethodMetis}
+	if methodFlag != "" {
+		m, err := sim.ParseMethod(methodFlag)
+		if err != nil {
+			return err
+		}
+		methods = []sim.Method{m}
+	}
+	for _, m := range methods {
+		fmt.Printf("=== Fig 3: %v, k=2, 4-hour windows ===\n", m)
+		res, err := ds.Fig3(m)
+		if err != nil {
+			return err
+		}
+		var dynCut, dynBal, statCut, statBal []float64
+		var rows [][]string
+		for _, w := range res.Windows {
+			dynCut = append(dynCut, w.DynamicCut)
+			dynBal = append(dynBal, w.DynamicBalance)
+			statCut = append(statCut, w.StaticCut)
+			statBal = append(statBal, w.StaticBalance)
+			rows = append(rows, []string{
+				w.Start.Format("2006-01-02T15"),
+				report.FormatFloat(w.DynamicCut),
+				report.FormatFloat(w.StaticCut),
+				report.FormatFloat(w.DynamicBalance),
+				report.FormatFloat(w.StaticBalance),
+				strconv.FormatInt(w.Moves, 10),
+			})
+		}
+		fmt.Printf("  dynamic cut:     %s\n", sampled(dynCut))
+		fmt.Printf("  static  cut:     %s\n", sampled(statCut))
+		fmt.Printf("  dynamic balance: %s\n", sampled(dynBal))
+		fmt.Printf("  static  balance: %s\n", sampled(statBal))
+		fmt.Printf("  windows=%d repartitions=%d moves=%s\n",
+			len(res.Windows), res.Repartitions, report.FormatCount(res.TotalMoves))
+		name := fmt.Sprintf("fig3_%v.csv", m)
+		if err := out.csv(name,
+			[]string{"window", "dyn_cut", "static_cut", "dyn_balance", "static_balance", "moves"},
+			rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampled down-samples a series to 100 sparkline columns.
+func sampled(values []float64) string {
+	const cols = 100
+	if len(values) <= cols {
+		return report.Sparkline(values)
+	}
+	out := make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		lo := i * len(values) / cols
+		hi := (i + 1) * len(values) / cols
+		var sum float64
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return report.Sparkline(out)
+}
+
+func fig4(ds *experiments.Dataset, out output) error {
+	fmt.Println("=== Fig 4: method comparison over 2017 periods (k=2 and k=8) ===")
+	cells, err := ds.Fig4([]int{2, 8})
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, c := range cells {
+		rows = append(rows, []string{
+			strconv.Itoa(c.K), c.Method.String(), c.Period,
+			report.FormatFloat(c.CutStats.Median),
+			report.FormatFloat(c.CutStats.Q1), report.FormatFloat(c.CutStats.Q3),
+			report.FormatFloat(c.BalStats.Median),
+			report.FormatFloat(c.BalStats.Q1), report.FormatFloat(c.BalStats.Q3),
+			report.FormatCount(c.Moves),
+		})
+	}
+	if err := report.Table(os.Stdout, []string{
+		"k", "method", "period",
+		"cut_med", "cut_q1", "cut_q3",
+		"bal_med", "bal_q1", "bal_q3", "moves",
+	}, rows); err != nil {
+		return err
+	}
+	// Box plots per k for the dynamic cut.
+	for _, k := range []int{2, 8} {
+		fmt.Printf("\n  dynamic edge-cut, k=%d (range 0..1):\n", k)
+		for _, c := range cells {
+			if c.K != k || c.Period != "01.17-06.17" {
+				continue
+			}
+			fmt.Printf("    %-9s %s\n", c.Method, report.BoxPlot(c.CutStats, 0, 1, 50))
+		}
+	}
+	return out.csv("fig4.csv", []string{
+		"k", "method", "period", "cut_med", "cut_q1", "cut_q3",
+		"bal_med", "bal_q1", "bal_q3", "moves",
+	}, rows)
+}
+
+func fig5(ds *experiments.Dataset, out output) error {
+	fmt.Println("=== Fig 5: shard-count sweep (k = 2, 4, 8) ===")
+	rows5, err := ds.Fig5([]int{2, 4, 8})
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, r := range rows5 {
+		rows = append(rows, []string{
+			r.Method.String(), strconv.Itoa(r.K),
+			report.FormatFloat(r.DynamicCut),
+			report.FormatFloat(r.NormBalance),
+			report.FormatCount(r.Moves),
+			report.FormatCount(r.MovedSlots),
+		})
+	}
+	if err := report.Table(os.Stdout, []string{
+		"method", "k", "dyn_cut", "norm_balance", "moves", "moved_slots",
+	}, rows); err != nil {
+		return err
+	}
+	return out.csv("fig5.csv", []string{
+		"method", "k", "dyn_cut", "norm_balance", "moves", "moved_slots",
+	}, rows)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ethpart/internal/trace"
+)
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -out must error")
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.bin")
+	err := run([]string{"-out", out, "-scale", "0.0002", "-format", "xml"})
+	if err == nil {
+		t.Fatal("bad format must error")
+	}
+}
+
+func TestGenerateCSVTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-out", out, "-scale", "0.0002", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := trace.NewCSVReader(f)
+	var n int
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", n, err)
+		}
+		if rec.From == rec.To && rec.Kind == 0 {
+			t.Fatalf("nonsense record: %+v", rec)
+		}
+		n++
+	}
+	if n < 1000 {
+		t.Fatalf("only %d records generated", n)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a small blockchain graph by hand, partition it with
+// hashing and with the multilevel (METIS-style) partitioner, and compare
+// the paper's metrics — edge-cut and balance — side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ethpart/internal/graph"
+	"ethpart/internal/metrics"
+	"ethpart/internal/partition"
+	"ethpart/internal/partition/multilevel"
+)
+
+func main() {
+	// A toy "DeFi" neighbourhood: two token communities whose users mostly
+	// interact within their own community, bridged by one exchange
+	// contract. Vertices 0/100 are the token contracts, 50 the exchange.
+	g := graph.New()
+	addEdge := func(u, v graph.VertexID, w int64, uk, vk graph.Kind) {
+		if err := g.AddInteraction(u, v, uk, vk, w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	const users = 40
+	for i := 1; i <= users; i++ {
+		// Community A: users 1..40 use token 0.
+		addEdge(graph.VertexID(i), 0, int64(1+i%5), graph.KindAccount, graph.KindContract)
+		// Community B: users 101..140 use token 100.
+		addEdge(graph.VertexID(100+i), 100, int64(1+i%5), graph.KindAccount, graph.KindContract)
+	}
+	// A few cross-community trades through the exchange.
+	for i := 1; i <= 5; i++ {
+		addEdge(graph.VertexID(i), 50, 1, graph.KindAccount, graph.KindContract)
+		addEdge(graph.VertexID(100+i), 50, 1, graph.KindAccount, graph.KindContract)
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges, total edge weight %d\n\n",
+		g.VertexCount(), g.EdgeCount(), g.TotalEdgeWeight())
+
+	csr := graph.NewCSR(g)
+	const k = 2
+
+	for _, method := range []struct {
+		name string
+		p    partition.Partitioner
+	}{
+		{"hashing", partition.Hash{}},
+		{"multilevel (METIS-style)", multilevel.New(multilevel.Config{Seed: 7})},
+	} {
+		parts, err := method.p.Partition(csr, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", method.name)
+		fmt.Printf("  static  edge-cut: %5.1f%%\n", 100*metrics.EdgeCutParts(csr, parts, false))
+		fmt.Printf("  dynamic edge-cut: %5.1f%%\n", 100*metrics.EdgeCutParts(csr, parts, true))
+		fmt.Printf("  static  balance:  %5.3f\n", metrics.BalanceParts(csr, parts, k, false))
+		fmt.Printf("  dynamic balance:  %5.3f\n\n", metrics.BalanceParts(csr, parts, k, true))
+	}
+
+	fmt.Println("The multilevel partitioner finds the community seam (the exchange")
+	fmt.Println("bridge), while hashing scatters each community across both shards —")
+	fmt.Println("the paper's core observation at toy scale.")
+}

@@ -1,0 +1,85 @@
+// Repartition: compare repartitioning policies — periodic R-METIS against
+// threshold-triggered TR-METIS — over a six-month synthetic history,
+// reproducing the paper's observation that thresholds cut the number of
+// moved vertices dramatically without giving up cut or balance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ethpart/internal/report"
+	"ethpart/internal/sim"
+	"ethpart/internal/workload"
+)
+
+func main() {
+	eras := []workload.Era{{
+		Name:          "2017-growth",
+		Start:         time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:           time.Date(2017, 7, 1, 0, 0, 0, 0, time.UTC),
+		TxPerDayStart: 45_000, TxPerDayEnd: 150_000,
+		Kind:           workload.GrowthExponential,
+		NewAccountFrac: 0.22,
+		DeploysPerDay:  30,
+		Mix: workload.TxMix{
+			Transfer: 0.5, Token: 0.25, Wallet: 0.08,
+			Crowdsale: 0.09, Game: 0.04, Airdrop: 0.04,
+		},
+	}}
+
+	fmt.Println("generating six months of 2017-style history...")
+	gt, err := sim.Generate(workload.Config{Seed: 9, Scale: 0.01, Eras: eras, BlockInterval: time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s interactions, %s vertices\n\n",
+		report.FormatCount(int64(len(gt.Records))),
+		report.FormatCount(int64(gt.Registry.Len())))
+
+	type policy struct {
+		label string
+		cfg   sim.Config
+	}
+	policies := []policy{
+		{"R-METIS every 2 weeks", sim.Config{
+			Method: sim.MethodRMetis, K: 4, RepartitionEvery: 14 * 24 * time.Hour,
+		}},
+		{"R-METIS every week", sim.Config{
+			Method: sim.MethodRMetis, K: 4, RepartitionEvery: 7 * 24 * time.Hour,
+		}},
+		{"TR-METIS (default thresholds)", sim.Config{
+			Method: sim.MethodTRMetis, K: 4,
+		}},
+		{"TR-METIS (tight thresholds)", sim.Config{
+			Method: sim.MethodTRMetis, K: 4,
+			CutThreshold: 0.5, BalanceThreshold: 1.8,
+		}},
+	}
+
+	var rows [][]string
+	for _, p := range policies {
+		res, err := sim.Replay(gt, p.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []string{
+			p.label,
+			fmt.Sprintf("%d", res.Repartitions),
+			report.FormatCount(res.TotalMoves),
+			report.FormatCount(res.TotalMovedSlots),
+			report.FormatFloat(res.OverallDynamicCut),
+			report.FormatFloat(res.OverallDynamicBalance),
+		})
+	}
+	if err := report.Table(os.Stdout, []string{
+		"policy", "repartitions", "moves", "moved slots", "dyn cut", "dyn balance",
+	}, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nMoving a vertex means moving its whole state (a contract's entire")
+	fmt.Println("storage); the threshold policy fires only when quality degrades and")
+	fmt.Println("so relocates far less state for similar cut and balance.")
+}

@@ -1,0 +1,310 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+
+	"ethpart/internal/evm"
+	"ethpart/internal/types"
+)
+
+var (
+	sender = types.AddressFromSeq(1)
+	recv   = types.AddressFromSeq(2)
+	miner  = types.AddressFromSeq(999)
+)
+
+// fundedState returns a state with sender holding a large balance.
+func fundedState() *State {
+	return NewStateWithAlloc(map[types.Address]evm.Word{
+		sender: evm.WordFromUint64(1_000_000_000_000),
+	})
+}
+
+func transferTx(nonce uint64, value uint64) *Transaction {
+	to := recv
+	return &Transaction{
+		Nonce: nonce, From: sender, To: &to,
+		Value: evm.WordFromUint64(value), GasLimit: 50_000, GasPrice: 1,
+	}
+}
+
+func TestApplyTransactionTransfer(t *testing.T) {
+	s := fundedState()
+	receipt, err := ApplyTransaction(s, transferTx(0, 500), miner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !receipt.Success {
+		t.Fatalf("receipt failed: %v", receipt.Err)
+	}
+	if receipt.GasUsed != IntrinsicGas {
+		t.Errorf("GasUsed = %d, want %d", receipt.GasUsed, IntrinsicGas)
+	}
+	if got := s.GetBalance(recv).Uint64(); got != 500 {
+		t.Errorf("recipient balance = %d, want 500", got)
+	}
+	if got := s.GetBalance(miner).Uint64(); got != uint64(IntrinsicGas) {
+		t.Errorf("miner fee = %d, want %d", got, IntrinsicGas)
+	}
+	if got := s.GetNonce(sender); got != 1 {
+		t.Errorf("sender nonce = %d, want 1", got)
+	}
+	if len(receipt.Traces) != 1 || receipt.Traces[0].Kind != evm.KindTransaction {
+		t.Errorf("traces = %+v", receipt.Traces)
+	}
+}
+
+func TestApplyTransactionBadNonce(t *testing.T) {
+	s := fundedState()
+	_, err := ApplyTransaction(s, transferTx(5, 1), miner)
+	if !errors.Is(err, ErrNonceMismatch) {
+		t.Fatalf("err = %v, want ErrNonceMismatch", err)
+	}
+}
+
+func TestApplyTransactionInsufficientFunds(t *testing.T) {
+	s := NewState()
+	_, err := ApplyTransaction(s, transferTx(0, 1), miner)
+	if !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("err = %v, want ErrInsufficientFunds", err)
+	}
+}
+
+func TestApplyTransactionIntrinsicGasTooLow(t *testing.T) {
+	s := fundedState()
+	to := recv
+	tx := &Transaction{Nonce: 0, From: sender, To: &to, GasLimit: 100, GasPrice: 1}
+	_, err := ApplyTransaction(s, tx, miner)
+	if !errors.Is(err, ErrIntrinsicGas) {
+		t.Fatalf("err = %v, want ErrIntrinsicGas", err)
+	}
+}
+
+func TestApplyTransactionRevertRollsBack(t *testing.T) {
+	// Deploy a contract that stores then reverts: storage must stay empty,
+	// gas must be consumed, nonce must advance.
+	runtime := evm.NewAssembler().
+		Push(7).Push(0).Op(evm.SSTORE).
+		Push(0).Push(0).Op(evm.REVERT).
+		MustBytes()
+	s := fundedState()
+	deploy := &Transaction{
+		Nonce: 0, From: sender, To: nil,
+		Data: evm.DeployWrapper(runtime), GasLimit: 500_000, GasPrice: 1,
+	}
+	receipt, err := ApplyTransaction(s, deploy, miner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !receipt.Success || receipt.ContractAddress == nil {
+		t.Fatalf("deploy failed: %+v", receipt)
+	}
+	contract := *receipt.ContractAddress
+
+	call := &Transaction{
+		Nonce: 1, From: sender, To: &contract, GasLimit: 200_000, GasPrice: 1,
+	}
+	receipt, err = ApplyTransaction(s, call, miner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.Success {
+		t.Fatal("reverting call must produce a failed receipt")
+	}
+	if !errors.Is(receipt.Err, evm.ErrRevert) {
+		t.Errorf("receipt.Err = %v, want ErrRevert", receipt.Err)
+	}
+	if s.StorageSize(contract) != 0 {
+		t.Error("reverted SSTORE must not persist")
+	}
+	if receipt.GasUsed != call.GasLimit {
+		t.Errorf("failed tx must consume all gas: used %d of %d", receipt.GasUsed, call.GasLimit)
+	}
+	if s.GetNonce(sender) != 2 {
+		t.Errorf("nonce = %d, want 2 (bump survives failure)", s.GetNonce(sender))
+	}
+}
+
+func TestBuildBlockAndVerify(t *testing.T) {
+	alloc := map[types.Address]evm.Word{sender: evm.WordFromUint64(1_000_000_000_000)}
+	c := NewChain(DefaultConfig(), alloc)
+
+	block, receipts, skipped := c.BuildBlock(miner, 1000, []*Transaction{
+		transferTx(0, 10),
+		transferTx(1, 20),
+		transferTx(5, 30), // bad nonce: skipped
+	})
+	if len(receipts) != 2 {
+		t.Fatalf("receipts = %d, want 2", len(receipts))
+	}
+	if len(skipped) != 1 || !errors.Is(skipped[0], ErrNonceMismatch) {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if len(block.Txs) != 2 {
+		t.Fatalf("block txs = %d, want 2", len(block.Txs))
+	}
+	if block.Header.Number != 1 {
+		t.Errorf("block number = %d", block.Header.Number)
+	}
+	if got := c.State().GetBalance(recv).Uint64(); got != 30 {
+		t.Errorf("recipient balance = %d, want 30", got)
+	}
+	// Miner got fees + reward.
+	reward := DefaultConfig().BlockReward
+	wantMiner := reward.Add(evm.WordFromUint64(2 * IntrinsicGas))
+	if got := c.State().GetBalance(miner); got != wantMiner {
+		t.Errorf("miner balance = %v, want %v", got, wantMiner)
+	}
+	if err := c.VerifyHeaderChain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockGasLimitEnforced(t *testing.T) {
+	alloc := map[types.Address]evm.Word{sender: evm.WordFromUint64(1_000_000_000_000)}
+	cfg := DefaultConfig()
+	cfg.BlockGasLimit = 60_000 // room for one transfer only
+	c := NewChain(cfg, alloc)
+	_, receipts, skipped := c.BuildBlock(miner, 1, []*Transaction{
+		transferTx(0, 1),
+		transferTx(1, 1),
+	})
+	if len(receipts) != 1 {
+		t.Fatalf("receipts = %d, want 1", len(receipts))
+	}
+	if len(skipped) != 1 || !errors.Is(skipped[0], ErrGasLimitExceeded) {
+		t.Fatalf("skipped = %v", skipped)
+	}
+}
+
+func TestChainLinkingAcrossBlocks(t *testing.T) {
+	alloc := map[types.Address]evm.Word{sender: evm.WordFromUint64(1_000_000_000_000)}
+	c := NewChain(DefaultConfig(), alloc)
+	for i := uint64(0); i < 5; i++ {
+		c.BuildBlock(miner, int64(1000+i), []*Transaction{transferTx(i, 1)})
+	}
+	if c.Len() != 6 {
+		t.Fatalf("chain length = %d, want 6", c.Len())
+	}
+	if err := c.VerifyHeaderChain(); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with a header: verification must fail.
+	c.blocks[3].Header.Time++
+	if err := c.VerifyHeaderChain(); err == nil {
+		t.Fatal("tampered chain must fail verification")
+	}
+	c.blocks[3].Header.Time--
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	alloc := map[types.Address]evm.Word{sender: evm.WordFromUint64(1_000_000_000_000)}
+	c := NewChain(DefaultConfig(), alloc)
+
+	runtime := evm.NewAssembler().
+		Push(0).Op(evm.CALLDATALOAD).
+		Push(0).Op(evm.SSTORE).Op(evm.STOP).
+		MustBytes()
+	deploy := &Transaction{
+		Nonce: 0, From: sender, Data: evm.DeployWrapper(runtime),
+		GasLimit: 500_000, GasPrice: 1,
+	}
+	_, receipts, skipped := c.BuildBlock(miner, 1, []*Transaction{deploy})
+	if len(skipped) != 0 || !receipts[0].Success {
+		t.Fatalf("deploy failed: %v %v", skipped, receipts[0].Err)
+	}
+	contract := *receipts[0].ContractAddress
+	arg := evm.WordFromUint64(1234).Bytes32()
+	call := &Transaction{
+		Nonce: 1, From: sender, To: &contract, Data: arg[:],
+		GasLimit: 200_000, GasPrice: 1,
+	}
+	c.BuildBlock(miner, 2, []*Transaction{call, transferTx(2, 42)})
+
+	if err := c.Replay(alloc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseCommitInterval(t *testing.T) {
+	alloc := map[types.Address]evm.Word{sender: evm.WordFromUint64(1_000_000_000_000)}
+	cfg := DefaultConfig()
+	cfg.CommitInterval = 4
+	c := NewChain(cfg, alloc)
+	var roots []types.Hash
+	for i := uint64(0); i < 8; i++ {
+		b, _, _ := c.BuildBlock(miner, int64(i), []*Transaction{transferTx(i, 1)})
+		roots = append(roots, b.Header.StateRoot)
+	}
+	// Blocks 1-3 carry the genesis root forward; block 4 commits fresh.
+	if roots[0] != roots[1] || roots[1] != roots[2] {
+		t.Error("non-commit blocks must carry the previous root")
+	}
+	if roots[2] == roots[3] {
+		t.Error("block 4 must commit a fresh root")
+	}
+}
+
+func TestTxHashDistinct(t *testing.T) {
+	a := transferTx(0, 1)
+	b := transferTx(0, 2)
+	if a.Hash() == b.Hash() {
+		t.Error("different transactions must have different hashes")
+	}
+	c := transferTx(0, 1)
+	if a.Hash() != c.Hash() {
+		t.Error("identical transactions must have equal hashes")
+	}
+}
+
+func TestTxRootOrderSensitive(t *testing.T) {
+	t1, t2 := transferTx(0, 1), transferTx(1, 2)
+	r1 := TxRoot([]*Transaction{t1, t2})
+	r2 := TxRoot([]*Transaction{t2, t1})
+	if r1 == r2 {
+		t.Error("transaction root must commit to ordering")
+	}
+	if !TxRoot(nil).IsZero() {
+		t.Error("empty tx root must be zero")
+	}
+}
+
+func TestInternalCallTraceInReceipt(t *testing.T) {
+	// Deploy a proxy that calls the address in calldata; check the receipt
+	// carries both the outer tx and the internal call.
+	runtime := evm.NewAssembler().
+		Push(0).Push(0).Push(0).Push(0).Push(0).
+		Push(0).Op(evm.CALLDATALOAD).
+		Push(30000).
+		Op(evm.CALL).Op(evm.POP).Op(evm.STOP).
+		MustBytes()
+	s := fundedState()
+	deploy := &Transaction{
+		Nonce: 0, From: sender, Data: evm.DeployWrapper(runtime),
+		GasLimit: 500_000, GasPrice: 1,
+	}
+	receipt, err := ApplyTransaction(s, deploy, miner)
+	if err != nil || !receipt.Success {
+		t.Fatalf("deploy: %v %v", err, receipt)
+	}
+	proxy := *receipt.ContractAddress
+
+	target := types.AddressFromSeq(77)
+	var input [32]byte
+	copy(input[12:], target[:])
+	call := &Transaction{
+		Nonce: 1, From: sender, To: &proxy, Data: input[:],
+		GasLimit: 300_000, GasPrice: 1,
+	}
+	receipt, err = ApplyTransaction(s, call, miner)
+	if err != nil || !receipt.Success {
+		t.Fatalf("call: %v %+v", err, receipt)
+	}
+	if len(receipt.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2: %+v", len(receipt.Traces), receipt.Traces)
+	}
+	if receipt.Traces[1].Kind != evm.KindCall || receipt.Traces[1].From != proxy || receipt.Traces[1].To != target {
+		t.Errorf("internal trace = %+v", receipt.Traces[1])
+	}
+}

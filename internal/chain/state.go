@@ -1,0 +1,307 @@
+// Package chain implements the blockchain substrate: world state with
+// journaled rollback, transactions, blocks with Merkle commitments, and a
+// processor that executes transactions through the EVM and collects the
+// call traces the blockchain graph is built from.
+package chain
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"ethpart/internal/evm"
+	"ethpart/internal/trie"
+	"ethpart/internal/types"
+)
+
+// Account is the state record of an address.
+type Account struct {
+	Balance evm.Word
+	Nonce   uint64
+	Code    []byte
+	Storage map[evm.Word]evm.Word
+}
+
+// clone returns a deep copy of the account.
+func (a *Account) clone() *Account {
+	c := &Account{Balance: a.Balance, Nonce: a.Nonce}
+	if a.Code != nil {
+		c.Code = append([]byte(nil), a.Code...)
+	}
+	if a.Storage != nil {
+		c.Storage = make(map[evm.Word]evm.Word, len(a.Storage))
+		for k, v := range a.Storage {
+			c.Storage[k] = v
+		}
+	}
+	return c
+}
+
+// journalEntry records how to undo one state mutation.
+type journalEntry struct {
+	apply func(*State)
+}
+
+// State is the world state: a map of accounts with a mutation journal that
+// supports snapshot/revert, mirroring how a production node unwinds failed
+// transactions. It implements evm.StateDB.
+//
+// State is not safe for concurrent use.
+type State struct {
+	accounts map[types.Address]*Account
+	journal  []journalEntry
+}
+
+var _ evm.StateDB = (*State)(nil)
+
+// NewState returns an empty world state.
+func NewState() *State {
+	return &State{accounts: make(map[types.Address]*Account)}
+}
+
+// NewStateWithAlloc returns a state pre-funded with the given balances
+// (the genesis allocation).
+func NewStateWithAlloc(alloc map[types.Address]evm.Word) *State {
+	s := NewState()
+	for addr, bal := range alloc {
+		s.accounts[addr] = &Account{Balance: bal}
+	}
+	return s
+}
+
+// Snapshot returns an identifier for the current journal position.
+func (s *State) Snapshot() int { return len(s.journal) }
+
+// RevertToSnapshot unwinds all mutations made after snapshot id.
+func (s *State) RevertToSnapshot(id int) {
+	for i := len(s.journal) - 1; i >= id; i-- {
+		s.journal[i].apply(s)
+	}
+	s.journal = s.journal[:id]
+}
+
+// DiscardJournal drops undo history (called after a transaction commits).
+func (s *State) DiscardJournal() { s.journal = s.journal[:0] }
+
+// getOrNew returns the account for addr, creating and journaling it if
+// missing.
+func (s *State) getOrNew(addr types.Address) *Account {
+	if acc, ok := s.accounts[addr]; ok {
+		return acc
+	}
+	acc := &Account{}
+	s.accounts[addr] = acc
+	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
+		delete(st.accounts, addr)
+	}})
+	return acc
+}
+
+// Exist implements evm.StateDB.
+func (s *State) Exist(addr types.Address) bool {
+	_, ok := s.accounts[addr]
+	return ok
+}
+
+// CreateAccount implements evm.StateDB.
+func (s *State) CreateAccount(addr types.Address) { s.getOrNew(addr) }
+
+// GetBalance implements evm.StateDB.
+func (s *State) GetBalance(addr types.Address) evm.Word {
+	if acc, ok := s.accounts[addr]; ok {
+		return acc.Balance
+	}
+	return evm.Word{}
+}
+
+// AddBalance implements evm.StateDB.
+func (s *State) AddBalance(addr types.Address, amount evm.Word) {
+	acc := s.getOrNew(addr)
+	prev := acc.Balance
+	acc.Balance = acc.Balance.Add(amount)
+	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
+		if a, ok := st.accounts[addr]; ok {
+			a.Balance = prev
+		}
+	}})
+}
+
+// SubBalance implements evm.StateDB.
+func (s *State) SubBalance(addr types.Address, amount evm.Word) {
+	acc := s.getOrNew(addr)
+	prev := acc.Balance
+	acc.Balance = acc.Balance.Sub(amount)
+	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
+		if a, ok := st.accounts[addr]; ok {
+			a.Balance = prev
+		}
+	}})
+}
+
+// GetNonce implements evm.StateDB.
+func (s *State) GetNonce(addr types.Address) uint64 {
+	if acc, ok := s.accounts[addr]; ok {
+		return acc.Nonce
+	}
+	return 0
+}
+
+// SetNonce implements evm.StateDB.
+func (s *State) SetNonce(addr types.Address, nonce uint64) {
+	acc := s.getOrNew(addr)
+	prev := acc.Nonce
+	acc.Nonce = nonce
+	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
+		if a, ok := st.accounts[addr]; ok {
+			a.Nonce = prev
+		}
+	}})
+}
+
+// GetCode implements evm.StateDB.
+func (s *State) GetCode(addr types.Address) []byte {
+	if acc, ok := s.accounts[addr]; ok {
+		return acc.Code
+	}
+	return nil
+}
+
+// SetCode implements evm.StateDB.
+func (s *State) SetCode(addr types.Address, code []byte) {
+	acc := s.getOrNew(addr)
+	prev := acc.Code
+	acc.Code = code
+	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
+		if a, ok := st.accounts[addr]; ok {
+			a.Code = prev
+		}
+	}})
+}
+
+// GetState implements evm.StateDB.
+func (s *State) GetState(addr types.Address, key evm.Word) evm.Word {
+	if acc, ok := s.accounts[addr]; ok && acc.Storage != nil {
+		return acc.Storage[key]
+	}
+	return evm.Word{}
+}
+
+// SetState implements evm.StateDB.
+func (s *State) SetState(addr types.Address, key, value evm.Word) {
+	acc := s.getOrNew(addr)
+	if acc.Storage == nil {
+		acc.Storage = make(map[evm.Word]evm.Word)
+	}
+	prev, existed := acc.Storage[key]
+	if value.IsZero() {
+		delete(acc.Storage, key) // zero writes clear the slot, as in Ethereum
+	} else {
+		acc.Storage[key] = value
+	}
+	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
+		a, ok := st.accounts[addr]
+		if !ok {
+			return
+		}
+		if a.Storage == nil {
+			a.Storage = make(map[evm.Word]evm.Word)
+		}
+		if existed {
+			a.Storage[key] = prev
+		} else {
+			delete(a.Storage, key)
+		}
+	}})
+}
+
+// StorageSize implements evm.StateDB.
+func (s *State) StorageSize(addr types.Address) int {
+	if acc, ok := s.accounts[addr]; ok {
+		return len(acc.Storage)
+	}
+	return 0
+}
+
+// AccountCount returns the number of accounts in the state.
+func (s *State) AccountCount() int { return len(s.accounts) }
+
+// Copy returns a deep copy of the state with an empty journal.
+func (s *State) Copy() *State {
+	c := NewState()
+	for addr, acc := range s.accounts {
+		c.accounts[addr] = acc.clone()
+	}
+	return c
+}
+
+// encodeAccount serializes an account for the state trie: balance, nonce,
+// code hash and a digest of the sorted storage slots. Any change to an
+// account changes its encoding and therefore the state root.
+func encodeAccount(acc *Account) []byte {
+	buf := make([]byte, 0, 32+8+types.HashLen*2)
+	bal := acc.Balance.Bytes32()
+	buf = append(buf, bal[:]...)
+	var nonce [8]byte
+	binary.BigEndian.PutUint64(nonce[:], acc.Nonce)
+	buf = append(buf, nonce[:]...)
+	codeHash := types.HashData(acc.Code)
+	buf = append(buf, codeHash[:]...)
+	storageHash := hashStorage(acc.Storage)
+	buf = append(buf, storageHash[:]...)
+	return buf
+}
+
+// hashStorage digests storage slots in sorted key order so the result is
+// deterministic.
+func hashStorage(storage map[evm.Word]evm.Word) types.Hash {
+	if len(storage) == 0 {
+		return types.Hash{}
+	}
+	keys := make([]evm.Word, 0, len(storage))
+	for k := range storage {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Cmp(keys[j]) < 0 })
+	parts := make([][]byte, 0, 2*len(keys))
+	for _, k := range keys {
+		kb, vb := k.Bytes32(), storage[k].Bytes32()
+		parts = append(parts, kb[:], vb[:])
+	}
+	return types.HashConcat(parts...)
+}
+
+// EachStorage calls fn for every storage slot of addr until fn returns
+// false. Iteration order is unspecified.
+func (s *State) EachStorage(addr types.Address, fn func(key, value evm.Word) bool) {
+	acc, ok := s.accounts[addr]
+	if !ok {
+		return
+	}
+	for k, v := range acc.Storage {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// CopyStorage copies every storage slot of addr from src to dst and
+// returns the number of slots copied — the state-payload of migrating a
+// contract between shards.
+func CopyStorage(src, dst *State, addr types.Address) int {
+	n := 0
+	src.EachStorage(addr, func(k, v evm.Word) bool {
+		dst.SetState(addr, k, v)
+		n++
+		return true
+	})
+	return n
+}
+
+// Commit computes the Merkle root of the whole state. It is O(accounts) and
+// intended for block sealing at configurable intervals, not per transaction.
+func (s *State) Commit() types.Hash {
+	t := trie.New()
+	for addr, acc := range s.accounts {
+		t.Put(addr[:], encodeAccount(acc))
+	}
+	return t.Root()
+}

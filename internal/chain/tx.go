@@ -1,0 +1,76 @@
+package chain
+
+import (
+	"encoding/binary"
+
+	"ethpart/internal/evm"
+	"ethpart/internal/types"
+)
+
+// Transaction is a user-submitted message. A nil To deploys the contract
+// whose init code is in Data; otherwise Data is the call input.
+//
+// There are no signatures: the synthetic workload has no adversary, and
+// signature checking is orthogonal to partitioning behaviour. From is
+// therefore carried explicitly.
+type Transaction struct {
+	Nonce    uint64
+	From     types.Address
+	To       *types.Address
+	Value    evm.Word
+	GasLimit uint64
+	GasPrice uint64
+	Data     []byte
+}
+
+// IsCreate reports whether the transaction deploys a contract.
+func (tx *Transaction) IsCreate() bool { return tx.To == nil }
+
+// IntrinsicGas is the base cost charged for any transaction before
+// execution, as in Ethereum.
+const IntrinsicGas = 21_000
+
+// CreateGas is the additional intrinsic cost of a contract-creating
+// transaction.
+const CreateGas = 32_000
+
+// intrinsicGas returns the pre-execution gas cost of tx.
+func (tx *Transaction) intrinsicGas() uint64 {
+	gas := uint64(IntrinsicGas)
+	if tx.IsCreate() {
+		gas += CreateGas
+	}
+	gas += uint64(len(tx.Data)) * 4
+	return gas
+}
+
+// Hash returns the transaction digest.
+func (tx *Transaction) Hash() types.Hash {
+	var num [8 * 3]byte
+	binary.BigEndian.PutUint64(num[0:], tx.Nonce)
+	binary.BigEndian.PutUint64(num[8:], tx.GasLimit)
+	binary.BigEndian.PutUint64(num[16:], tx.GasPrice)
+	var to []byte
+	if tx.To != nil {
+		to = tx.To[:]
+	}
+	val := tx.Value.Bytes32()
+	return types.HashConcat(num[:], tx.From[:], to, val[:], tx.Data)
+}
+
+// Receipt is the result of executing a transaction.
+type Receipt struct {
+	TxHash  types.Hash
+	TxIndex int
+	// Success is false when execution failed (revert, out of gas, bad
+	// nonce); the failure reason is in Err.
+	Success bool
+	Err     error
+	GasUsed uint64
+	// ContractAddress is set for successful contract creations.
+	ContractAddress *types.Address
+	// Traces holds the outer transaction entry plus every internal call
+	// and creation performed during execution — the edges of the
+	// blockchain graph.
+	Traces []evm.CallTrace
+}

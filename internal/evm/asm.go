@@ -1,0 +1,161 @@
+package evm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ethpart/internal/types"
+)
+
+// Assembler builds bytecode programmatically with label-based jumps. The
+// workload generator's contract archetypes are written against it.
+//
+// Usage:
+//
+//	a := NewAssembler()
+//	a.Push(0).Op(CALLDATALOAD).Push(1).Op(EQ)
+//	a.JumpITo("transfer")
+//	a.Op(STOP)
+//	a.Label("transfer")
+//	...
+//	code, err := a.Bytes()
+type Assembler struct {
+	code   []byte
+	labels map[string]int
+	fixups []fixup
+	err    error
+}
+
+// fixup records a PUSH2 immediate that must be patched with a label offset.
+type fixup struct {
+	pos   int // offset of the 2-byte immediate
+	label string
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{labels: make(map[string]int)}
+}
+
+// Op appends raw opcodes.
+func (a *Assembler) Op(ops ...Opcode) *Assembler {
+	for _, op := range ops {
+		a.code = append(a.code, byte(op))
+	}
+	return a
+}
+
+// Push appends the smallest PUSH instruction that holds v.
+func (a *Assembler) Push(v uint64) *Assembler {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	i := 0
+	for i < 7 && buf[i] == 0 {
+		i++
+	}
+	imm := buf[i:]
+	a.code = append(a.code, byte(PUSH1)+byte(len(imm)-1))
+	a.code = append(a.code, imm...)
+	return a
+}
+
+// PushWord appends a PUSH32 of w.
+func (a *Assembler) PushWord(w Word) *Assembler {
+	b := w.Bytes32()
+	a.code = append(a.code, byte(PUSH32))
+	a.code = append(a.code, b[:]...)
+	return a
+}
+
+// PushAddress appends a PUSH20 of addr.
+func (a *Assembler) PushAddress(addr types.Address) *Assembler {
+	a.code = append(a.code, byte(PUSH1)+types.AddressLen-1)
+	a.code = append(a.code, addr[:]...)
+	return a
+}
+
+// Label places a JUMPDEST here and binds name to its program counter.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.err = fmt.Errorf("evm: duplicate label %q", name)
+		return a
+	}
+	a.labels[name] = len(a.code)
+	a.code = append(a.code, byte(JUMPDEST))
+	return a
+}
+
+// PushLabel appends a PUSH2 whose immediate will be patched with the pc of
+// name when Bytes is called.
+func (a *Assembler) PushLabel(name string) *Assembler {
+	a.code = append(a.code, byte(PUSH1)+1) // PUSH2
+	a.fixups = append(a.fixups, fixup{pos: len(a.code), label: name})
+	a.code = append(a.code, 0, 0)
+	return a
+}
+
+// JumpTo appends an unconditional jump to label name.
+func (a *Assembler) JumpTo(name string) *Assembler {
+	return a.PushLabel(name).Op(JUMP)
+}
+
+// JumpITo appends a conditional jump to label name. The condition must
+// already be on the stack (JUMPI pops destination, then condition).
+func (a *Assembler) JumpITo(name string) *Assembler {
+	return a.PushLabel(name).Op(JUMPI)
+}
+
+// Bytes resolves all label fixups and returns the bytecode.
+func (a *Assembler) Bytes() ([]byte, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	for _, f := range a.fixups {
+		pc, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("evm: undefined label %q", f.label)
+		}
+		if pc > 0xffff {
+			return nil, fmt.Errorf("evm: label %q offset %d exceeds PUSH2 range", f.label, pc)
+		}
+		binary.BigEndian.PutUint16(a.code[f.pos:], uint16(pc))
+	}
+	out := make([]byte, len(a.code))
+	copy(out, a.code)
+	return out, nil
+}
+
+// MustBytes is Bytes for statically known-good programs; it panics on error
+// and is intended for package-level contract templates whose correctness is
+// covered by tests.
+func (a *Assembler) MustBytes() []byte {
+	b, err := a.Bytes()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// DeployWrapper wraps runtime bytecode in init code that returns it, the
+// standard two-phase EVM deployment. The wrapper MSTOREs the runtime code
+// into memory 32 bytes at a time and RETURNs the exact code length.
+func DeployWrapper(runtime []byte) []byte {
+	a := NewAssembler()
+	for off := 0; off < len(runtime); off += 32 {
+		end := off + 32
+		var chunk [32]byte
+		if end > len(runtime) {
+			end = len(runtime)
+		}
+		copy(chunk[:], runtime[off:end])
+		// MSTORE pops offset (top) then value: push value, then offset.
+		a.PushWord(WordFromBytes(chunk[:]))
+		a.Push(uint64(off))
+		a.Op(MSTORE)
+	}
+	// RETURN pops offset (top) then size: push size, then offset.
+	a.Push(uint64(len(runtime)))
+	a.Push(0)
+	a.Op(RETURN)
+	return a.MustBytes()
+}

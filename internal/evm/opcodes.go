@@ -1,0 +1,134 @@
+package evm
+
+import "fmt"
+
+// Opcode is a single EVM instruction byte.
+type Opcode byte
+
+// The instruction set implemented by this VM. Values match the Ethereum
+// yellow-paper opcodes so that bytecode reads naturally to anyone familiar
+// with the EVM.
+const (
+	STOP   Opcode = 0x00
+	ADD    Opcode = 0x01
+	MUL    Opcode = 0x02
+	SUB    Opcode = 0x03
+	DIV    Opcode = 0x04
+	MOD    Opcode = 0x06
+	LT     Opcode = 0x10
+	GT     Opcode = 0x11
+	EQ     Opcode = 0x14
+	ISZERO Opcode = 0x15
+	AND    Opcode = 0x16
+	OR     Opcode = 0x17
+	XOR    Opcode = 0x18
+	NOT    Opcode = 0x19
+
+	ADDRESS      Opcode = 0x30
+	BALANCE      Opcode = 0x31
+	CALLER       Opcode = 0x33
+	CALLVALUE    Opcode = 0x34
+	CALLDATALOAD Opcode = 0x35
+	CALLDATASIZE Opcode = 0x36
+
+	POP      Opcode = 0x50
+	MLOAD    Opcode = 0x51
+	MSTORE   Opcode = 0x52
+	SLOAD    Opcode = 0x54
+	SSTORE   Opcode = 0x55
+	JUMP     Opcode = 0x56
+	JUMPI    Opcode = 0x57
+	PC       Opcode = 0x58
+	GAS      Opcode = 0x5a
+	JUMPDEST Opcode = 0x5b
+
+	PUSH1  Opcode = 0x60
+	PUSH32 Opcode = 0x7f
+	DUP1   Opcode = 0x80
+	DUP16  Opcode = 0x8f
+	SWAP1  Opcode = 0x90
+	SWAP16 Opcode = 0x9f
+
+	CREATE Opcode = 0xf0
+	CALL   Opcode = 0xf1
+	RETURN Opcode = 0xf3
+	REVERT Opcode = 0xfd
+)
+
+// IsPush reports whether op is one of PUSH1..PUSH32.
+func (op Opcode) IsPush() bool { return op >= PUSH1 && op <= PUSH32 }
+
+// PushSize returns the number of immediate bytes for a PUSH opcode, or zero.
+func (op Opcode) PushSize() int {
+	if !op.IsPush() {
+		return 0
+	}
+	return int(op-PUSH1) + 1
+}
+
+// opcodeNames maps opcodes to mnemonic strings for tracing and errors.
+var opcodeNames = map[Opcode]string{
+	STOP: "STOP", ADD: "ADD", MUL: "MUL", SUB: "SUB", DIV: "DIV", MOD: "MOD",
+	LT: "LT", GT: "GT", EQ: "EQ", ISZERO: "ISZERO",
+	AND: "AND", OR: "OR", XOR: "XOR", NOT: "NOT",
+	ADDRESS: "ADDRESS", BALANCE: "BALANCE", CALLER: "CALLER",
+	CALLVALUE: "CALLVALUE", CALLDATALOAD: "CALLDATALOAD", CALLDATASIZE: "CALLDATASIZE",
+	POP: "POP", MLOAD: "MLOAD", MSTORE: "MSTORE",
+	SLOAD: "SLOAD", SSTORE: "SSTORE",
+	JUMP: "JUMP", JUMPI: "JUMPI", PC: "PC", GAS: "GAS", JUMPDEST: "JUMPDEST",
+	CREATE: "CREATE", CALL: "CALL", RETURN: "RETURN", REVERT: "REVERT",
+}
+
+// String implements fmt.Stringer.
+func (op Opcode) String() string {
+	if name, ok := opcodeNames[op]; ok {
+		return name
+	}
+	if op.IsPush() {
+		return fmt.Sprintf("PUSH%d", op.PushSize())
+	}
+	if op >= DUP1 && op <= DUP16 {
+		return fmt.Sprintf("DUP%d", op-DUP1+1)
+	}
+	if op >= SWAP1 && op <= SWAP16 {
+		return fmt.Sprintf("SWAP%d", op-SWAP1+1)
+	}
+	return fmt.Sprintf("INVALID(0x%02x)", byte(op))
+}
+
+// gasCost returns the gas charged for executing op, before any dynamic
+// costs. The table is a simplified version of Ethereum's: the absolute
+// values matter only in that they make transaction costs proportional to
+// work performed, which is what the workload's gas accounting needs.
+func gasCost(op Opcode) uint64 {
+	switch op {
+	case STOP, JUMPDEST:
+		return 1
+	case ADD, SUB, LT, GT, EQ, ISZERO, AND, OR, XOR, NOT, POP, PC, GAS,
+		CALLER, CALLVALUE, CALLDATASIZE, ADDRESS:
+		return 3
+	case MUL, DIV, MOD, CALLDATALOAD, MLOAD, MSTORE:
+		return 5
+	case JUMP:
+		return 8
+	case JUMPI:
+		return 10
+	case BALANCE:
+		return 400
+	case SLOAD:
+		return 200
+	case SSTORE:
+		return 5000
+	case CALL:
+		return 700
+	case CREATE:
+		return 32000
+	case RETURN, REVERT:
+		return 0
+	default:
+		if op.IsPush() || (op >= DUP1 && op <= DUP16) || (op >= SWAP1 && op <= SWAP16) {
+			return 3
+		}
+		return 0
+	}
+}

@@ -1,0 +1,209 @@
+// Package evm implements a minimal Ethereum-style virtual machine: a 256-bit
+// stack machine with storage, gas metering, message calls and contract
+// creation. It exists so that contract interactions in the synthetic
+// workload come from actually executed bytecode — the internal-call edges of
+// the blockchain graph are collected from real execution traces, exactly as
+// one would instrument a production node.
+package evm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Word is an unsigned 256-bit integer in little-endian limb order:
+// Word[0] holds bits 0..63, Word[3] holds bits 192..255. Arithmetic wraps
+// modulo 2^256, matching EVM semantics.
+type Word [4]uint64
+
+// WordFromUint64 returns a Word holding v.
+func WordFromUint64(v uint64) Word { return Word{v, 0, 0, 0} }
+
+// WordFromBytes interprets up to 32 big-endian bytes as a Word. Longer
+// inputs use only the last 32 bytes, matching EVM calldata semantics.
+func WordFromBytes(b []byte) Word {
+	if len(b) > 32 {
+		b = b[len(b)-32:]
+	}
+	var buf [32]byte
+	copy(buf[32-len(b):], b)
+	var w Word
+	w[3] = binary.BigEndian.Uint64(buf[0:8])
+	w[2] = binary.BigEndian.Uint64(buf[8:16])
+	w[1] = binary.BigEndian.Uint64(buf[16:24])
+	w[0] = binary.BigEndian.Uint64(buf[24:32])
+	return w
+}
+
+// Bytes32 returns the big-endian 32-byte representation of w.
+func (w Word) Bytes32() [32]byte {
+	var buf [32]byte
+	binary.BigEndian.PutUint64(buf[0:8], w[3])
+	binary.BigEndian.PutUint64(buf[8:16], w[2])
+	binary.BigEndian.PutUint64(buf[16:24], w[1])
+	binary.BigEndian.PutUint64(buf[24:32], w[0])
+	return buf
+}
+
+// IsZero reports whether w == 0.
+func (w Word) IsZero() bool { return w[0]|w[1]|w[2]|w[3] == 0 }
+
+// IsUint64 reports whether w fits in a uint64.
+func (w Word) IsUint64() bool { return w[1]|w[2]|w[3] == 0 }
+
+// Uint64 returns the low 64 bits of w.
+func (w Word) Uint64() uint64 { return w[0] }
+
+// Cmp compares w and o, returning -1, 0 or +1.
+func (w Word) Cmp(o Word) int {
+	for i := 3; i >= 0; i-- {
+		switch {
+		case w[i] < o[i]:
+			return -1
+		case w[i] > o[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Add returns w + o mod 2^256.
+func (w Word) Add(o Word) Word {
+	var r Word
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		r[i], carry = bits.Add64(w[i], o[i], carry)
+	}
+	return r
+}
+
+// Sub returns w - o mod 2^256.
+func (w Word) Sub(o Word) Word {
+	var r Word
+	var borrow uint64
+	for i := 0; i < 4; i++ {
+		r[i], borrow = bits.Sub64(w[i], o[i], borrow)
+	}
+	return r
+}
+
+// Mul returns w * o mod 2^256 using schoolbook limb multiplication.
+func (w Word) Mul(o Word) Word {
+	var r Word
+	for i := 0; i < 4; i++ {
+		if o[i] == 0 {
+			continue
+		}
+		var carry uint64
+		for j := 0; i+j < 4; j++ {
+			hi, lo := bits.Mul64(w[j], o[i])
+			var c uint64
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			lo, c = bits.Add64(lo, r[i+j], 0)
+			hi += c
+			r[i+j] = lo
+			carry = hi
+		}
+	}
+	return r
+}
+
+// Div returns w / o (integer division). Division by zero returns zero,
+// matching EVM semantics.
+func (w Word) Div(o Word) Word {
+	q, _ := w.divMod(o)
+	return q
+}
+
+// Mod returns w mod o. Modulo by zero returns zero, matching EVM semantics.
+func (w Word) Mod(o Word) Word {
+	_, r := w.divMod(o)
+	return r
+}
+
+// divMod returns (w/o, w%o) via restoring shift-subtract long division.
+// It is O(256) iterations — slow relative to real bignum code but correct,
+// simple and fast enough for a workload simulator.
+func (w Word) divMod(o Word) (q, r Word) {
+	if o.IsZero() {
+		return Word{}, Word{}
+	}
+	if w.Cmp(o) < 0 {
+		return Word{}, w
+	}
+	if o.IsUint64() && w.IsUint64() {
+		return WordFromUint64(w[0] / o[0]), WordFromUint64(w[0] % o[0])
+	}
+	for i := w.bitLen() - 1; i >= 0; i-- {
+		r = r.shl1()
+		if w.bit(i) {
+			r[0] |= 1
+		}
+		if r.Cmp(o) >= 0 {
+			r = r.Sub(o)
+			q.setBit(i)
+		}
+	}
+	return q, r
+}
+
+// And returns the bitwise AND of w and o.
+func (w Word) And(o Word) Word {
+	return Word{w[0] & o[0], w[1] & o[1], w[2] & o[2], w[3] & o[3]}
+}
+
+// Or returns the bitwise OR of w and o.
+func (w Word) Or(o Word) Word {
+	return Word{w[0] | o[0], w[1] | o[1], w[2] | o[2], w[3] | o[3]}
+}
+
+// Xor returns the bitwise XOR of w and o.
+func (w Word) Xor(o Word) Word {
+	return Word{w[0] ^ o[0], w[1] ^ o[1], w[2] ^ o[2], w[3] ^ o[3]}
+}
+
+// Not returns the bitwise complement of w.
+func (w Word) Not() Word {
+	return Word{^w[0], ^w[1], ^w[2], ^w[3]}
+}
+
+// bitLen returns the minimum number of bits needed to represent w.
+func (w Word) bitLen() int {
+	for i := 3; i >= 0; i-- {
+		if w[i] != 0 {
+			return i*64 + bits.Len64(w[i])
+		}
+	}
+	return 0
+}
+
+// bit reports whether bit i (0 = least significant) is set.
+func (w Word) bit(i int) bool { return w[i/64]>>(uint(i)%64)&1 == 1 }
+
+// setBit sets bit i in place.
+func (w *Word) setBit(i int) { w[i/64] |= 1 << (uint(i) % 64) }
+
+// shl1 returns w << 1.
+func (w Word) shl1() Word {
+	return Word{
+		w[0] << 1,
+		w[1]<<1 | w[0]>>63,
+		w[2]<<1 | w[1]>>63,
+		w[3]<<1 | w[2]>>63,
+	}
+}
+
+// String renders w as 0x-prefixed minimal hex.
+func (w Word) String() string {
+	if w.IsZero() {
+		return "0x0"
+	}
+	b := w.Bytes32()
+	i := 0
+	for b[i] == 0 {
+		i++
+	}
+	return fmt.Sprintf("0x%x", b[i:])
+}

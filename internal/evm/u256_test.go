@@ -1,0 +1,207 @@
+package evm
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// bigMod is 2^256, the modulus of Word arithmetic.
+var bigMod = new(big.Int).Lsh(big.NewInt(1), 256)
+
+func wordToBig(w Word) *big.Int {
+	b := w.Bytes32()
+	return new(big.Int).SetBytes(b[:])
+}
+
+func bigToWord(x *big.Int) Word {
+	y := new(big.Int).Mod(x, bigMod)
+	return WordFromBytes(y.Bytes())
+}
+
+func TestWordFromUint64(t *testing.T) {
+	w := WordFromUint64(42)
+	if !w.IsUint64() || w.Uint64() != 42 {
+		t.Fatalf("WordFromUint64(42) = %v", w)
+	}
+	if w.IsZero() {
+		t.Fatal("42 is not zero")
+	}
+	if !WordFromUint64(0).IsZero() {
+		t.Fatal("0 must be zero")
+	}
+}
+
+func TestWordBytesRoundTrip(t *testing.T) {
+	tests := []Word{
+		{},
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+		{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)},
+		{0xdeadbeef, 0xcafebabe, 0x12345678, 0x9abcdef0},
+	}
+	for _, w := range tests {
+		b := w.Bytes32()
+		got := WordFromBytes(b[:])
+		if got != w {
+			t.Errorf("round trip failed: %v -> %v", w, got)
+		}
+	}
+}
+
+func TestWordFromBytesShort(t *testing.T) {
+	w := WordFromBytes([]byte{0x01, 0x02})
+	if w.Uint64() != 0x0102 {
+		t.Fatalf("short bytes: got %v", w)
+	}
+}
+
+func TestWordFromBytesLong(t *testing.T) {
+	// 33 bytes: the first byte must be ignored.
+	b := make([]byte, 33)
+	b[0] = 0xff
+	b[32] = 0x07
+	w := WordFromBytes(b)
+	if w.Uint64() != 7 || !w.IsUint64() {
+		t.Fatalf("long bytes: got %v", w)
+	}
+}
+
+func TestWordString(t *testing.T) {
+	tests := []struct {
+		w    Word
+		want string
+	}{
+		{Word{}, "0x0"},
+		{WordFromUint64(255), "0xff"},
+		{WordFromUint64(4096), "0x1000"},
+	}
+	for _, tt := range tests {
+		if got := tt.w.String(); got != tt.want {
+			t.Errorf("%v.String() = %q, want %q", tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	w := WordFromUint64(123)
+	if !w.Div(Word{}).IsZero() {
+		t.Error("division by zero must return zero")
+	}
+	if !w.Mod(Word{}).IsZero() {
+		t.Error("modulo by zero must return zero")
+	}
+}
+
+func TestAddOverflowWraps(t *testing.T) {
+	max := Word{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	if got := max.Add(WordFromUint64(1)); !got.IsZero() {
+		t.Errorf("max+1 = %v, want 0", got)
+	}
+}
+
+func TestSubUnderflowWraps(t *testing.T) {
+	got := Word{}.Sub(WordFromUint64(1))
+	want := Word{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	if got != want {
+		t.Errorf("0-1 = %v, want all-ones", got)
+	}
+}
+
+// randWord builds a Word from four uint64s, used by quick.Check.
+func TestPropertyArithMatchesBig(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 uint64) bool {
+		a := Word{a0, a1, a2, a3}
+		b := Word{b0, b1, b2, b3}
+		ba, bb := wordToBig(a), wordToBig(b)
+
+		if a.Add(b) != bigToWord(new(big.Int).Add(ba, bb)) {
+			return false
+		}
+		if a.Sub(b) != bigToWord(new(big.Int).Sub(ba, bb)) {
+			return false
+		}
+		if a.Mul(b) != bigToWord(new(big.Int).Mul(ba, bb)) {
+			return false
+		}
+		if bb.Sign() != 0 {
+			if a.Div(b) != bigToWord(new(big.Int).Div(ba, bb)) {
+				return false
+			}
+			if a.Mod(b) != bigToWord(new(big.Int).Mod(ba, bb)) {
+				return false
+			}
+		}
+		if a.Cmp(b) != ba.Cmp(bb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBitwiseMatchesBig(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 uint64) bool {
+		a := Word{a0, a1, a2, a3}
+		b := Word{b0, b1, b2, b3}
+		ba, bb := wordToBig(a), wordToBig(b)
+		if a.And(b) != bigToWord(new(big.Int).And(ba, bb)) {
+			return false
+		}
+		if a.Or(b) != bigToWord(new(big.Int).Or(ba, bb)) {
+			return false
+		}
+		if a.Xor(b) != bigToWord(new(big.Int).Xor(ba, bb)) {
+			return false
+		}
+		// Not: ^a == 2^256-1 - a.
+		allOnes := new(big.Int).Sub(bigMod, big.NewInt(1))
+		if a.Not() != bigToWord(new(big.Int).Sub(allOnes, ba)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDivModIdentity(t *testing.T) {
+	// Property: a == (a/b)*b + a%b for b != 0.
+	f := func(a0, a1, a2, a3, b0, b1 uint64) bool {
+		a := Word{a0, a1, a2, a3}
+		b := Word{b0, b1, 0, 0}
+		if b.IsZero() {
+			return true
+		}
+		q, m := a.Div(b), a.Mod(b)
+		return q.Mul(b).Add(m) == a && m.Cmp(b) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWordMul(b *testing.B) {
+	x := Word{0xdeadbeefcafebabe, 0x0123456789abcdef, 0xfedcba9876543210, 0x1}
+	y := Word{0x1111111111111111, 0x2222222222222222, 0x3333333333333333, 0x4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	sinkWord = x
+}
+
+func BenchmarkWordDiv(b *testing.B) {
+	x := Word{0xdeadbeefcafebabe, 0x0123456789abcdef, 0xfedcba9876543210, 0x1}
+	y := Word{0x1111111111111111, 0x2, 0, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkWord = x.Div(y)
+	}
+}
+
+var sinkWord Word

@@ -1,0 +1,377 @@
+// Package experiments regenerates every figure of the paper's evaluation:
+//
+//	Fig. 1 — growth of the blockchain graph (vertices & edges per month);
+//	Fig. 2 — an example subgraph rendered to DOT;
+//	Fig. 3 — hashing and METIS time series at k=2 (4-hour windows);
+//	Fig. 4 — box/violin statistics of the five methods over 2017 periods;
+//	Fig. 5 — the shard-count sweep (k ∈ {2,4,8}) of cut, balance and moves.
+//
+// A Dataset generates the synthetic history once and caches per-method
+// simulation results so the figures share work. Both cmd/experiments and
+// the root-level benchmarks are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ethpart/internal/graph"
+	"ethpart/internal/sim"
+	"ethpart/internal/stats"
+	"ethpart/internal/trace"
+	"ethpart/internal/workload"
+)
+
+// Params configures a reproduction run.
+type Params struct {
+	// Seed drives the whole synthetic history.
+	Seed int64
+	// Scale is the workload scale (see workload.Config.Scale). The
+	// default, 0.004, yields a few hundred thousand interactions — large
+	// enough for every qualitative effect, small enough for a laptop.
+	Scale float64
+	// BlockInterval is the simulated block spacing (default 2h).
+	BlockInterval time.Duration
+	// Eras overrides the history schedule (default workload.DefaultEras).
+	Eras []workload.Era
+	// Window is the metric window (default 4h, as in the paper).
+	Window time.Duration
+	// RepartitionEvery is the periodic methods' period (default 2 weeks).
+	RepartitionEvery time.Duration
+}
+
+func (p Params) withDefaults() Params {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Scale <= 0 {
+		p.Scale = 0.004
+	}
+	if p.BlockInterval <= 0 {
+		p.BlockInterval = 2 * time.Hour
+	}
+	if p.Window <= 0 {
+		p.Window = 4 * time.Hour
+	}
+	if p.RepartitionEvery <= 0 {
+		p.RepartitionEvery = 14 * 24 * time.Hour
+	}
+	return p
+}
+
+// Dataset is a generated history plus cached simulation results.
+type Dataset struct {
+	Params Params
+	GT     *sim.GeneratedTrace
+
+	cache map[simKey]*sim.Result
+}
+
+type simKey struct {
+	method sim.Method
+	k      int
+}
+
+// NewDataset generates the synthetic history for p.
+func NewDataset(p Params) (*Dataset, error) {
+	p = p.withDefaults()
+	gt, err := sim.Generate(workload.Config{
+		Seed:          p.Seed,
+		Scale:         p.Scale,
+		Eras:          p.Eras,
+		BlockInterval: p.BlockInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating dataset: %w", err)
+	}
+	return &Dataset{Params: p, GT: gt, cache: make(map[simKey]*sim.Result)}, nil
+}
+
+// Run returns the (cached) simulation result for method at k shards using
+// the paper's policy parameters.
+func (d *Dataset) Run(method sim.Method, k int) (*sim.Result, error) {
+	key := simKey{method, k}
+	if res, ok := d.cache[key]; ok {
+		return res, nil
+	}
+	res, err := sim.Replay(d.GT, sim.Config{
+		Method:           method,
+		K:                k,
+		Window:           d.Params.Window,
+		RepartitionEvery: d.Params.RepartitionEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %v k=%d: %w", method, k, err)
+	}
+	d.cache[key] = res
+	return res, nil
+}
+
+// Fig1Row is one monthly sample of graph size.
+type Fig1Row struct {
+	Month    time.Time
+	Vertices int64
+	Edges    int64
+}
+
+// Fig1 samples the cumulative graph size at month boundaries, reproducing
+// the growth curve of Fig. 1. It also returns the era boundaries for the
+// vertical markers.
+func (d *Dataset) Fig1() ([]Fig1Row, []workload.Era, error) {
+	g := graph.New()
+	var rows []Fig1Row
+	var next time.Time
+	flush := func(at time.Time) {
+		rows = append(rows, Fig1Row{
+			Month:    at,
+			Vertices: int64(g.VertexCount()),
+			Edges:    int64(g.EdgeCount()),
+		})
+	}
+	for _, rec := range d.GT.Records {
+		t := time.Unix(rec.Time, 0).UTC()
+		if next.IsZero() {
+			next = monthStart(t).AddDate(0, 1, 0)
+		}
+		for !t.Before(next) {
+			flush(next)
+			next = next.AddDate(0, 1, 0)
+		}
+		if err := rec.Apply(g); err != nil {
+			return nil, nil, fmt.Errorf("experiments: fig1: %w", err)
+		}
+	}
+	if !next.IsZero() {
+		flush(next)
+	}
+	eras := d.Params.Eras
+	if eras == nil {
+		eras = workload.DefaultEras()
+	}
+	return rows, eras, nil
+}
+
+// Fig1GrowthFit characterises the growth regime before and after the
+// attack: the paper observes exponential growth until around October 2016
+// and slower, superlinear growth afterwards. It returns the log-linear
+// growth rate (per month) of the edge count in both regimes.
+func Fig1GrowthFit(rows []Fig1Row, split time.Time) (preRate, postRate float64, err error) {
+	var preX, preY, postX, postY []float64
+	for i, r := range rows {
+		if r.Edges <= 0 {
+			continue
+		}
+		x := float64(i)
+		if r.Month.Before(split) {
+			preX = append(preX, x)
+			preY = append(preY, float64(r.Edges))
+		} else {
+			postX = append(postX, x)
+			postY = append(postY, float64(r.Edges))
+		}
+	}
+	_, preRate, _, err = stats.LogLinearFit(preX, preY)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: pre-attack fit: %w", err)
+	}
+	_, postRate, _, err = stats.LogLinearFit(postX, postY)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: post-attack fit: %w", err)
+	}
+	return preRate, postRate, nil
+}
+
+// Fig2 renders an early subgraph around a fan-out contract in the style of
+// the paper's Fig. 2 (accounts solid, contracts dashed, weighted edges).
+func (d *Dataset) Fig2(w io.Writer, maxVertices int) error {
+	if maxVertices <= 0 {
+		maxVertices = 24
+	}
+	// Build the graph of the first month.
+	g := graph.New()
+	var cutoff int64
+	for _, rec := range d.GT.Records {
+		if cutoff == 0 {
+			cutoff = time.Unix(rec.Time, 0).UTC().AddDate(0, 1, 0).Unix()
+		}
+		if rec.Time > cutoff {
+			break
+		}
+		if err := rec.Apply(g); err != nil {
+			return fmt.Errorf("experiments: fig2: %w", err)
+		}
+	}
+	// Seed on the busiest contract.
+	var seed graph.VertexID
+	var bestW int64 = -1
+	g.Vertices(func(id graph.VertexID, kind graph.Kind, weight int64) bool {
+		if kind == graph.KindContract && weight > bestW {
+			seed, bestW = id, weight
+		}
+		return true
+	})
+	if bestW < 0 {
+		return fmt.Errorf("experiments: fig2: no contract in the first month")
+	}
+	// Two-hop BFS neighbourhood, capped.
+	sub := graph.New()
+	visited := map[graph.VertexID]bool{seed: true}
+	frontier := []graph.VertexID{seed}
+	for hop := 0; hop < 2 && len(visited) < maxVertices; hop++ {
+		var nextFrontier []graph.VertexID
+		for _, u := range frontier {
+			g.Neighbors(u, func(v graph.VertexID, _ int64) bool {
+				if !visited[v] {
+					visited[v] = true
+					nextFrontier = append(nextFrontier, v)
+				}
+				return len(visited) < maxVertices
+			})
+		}
+		frontier = nextFrontier
+	}
+	g.Edges(func(u, v graph.VertexID, wgt int64) bool {
+		if visited[u] && visited[v] {
+			if err := sub.AddInteraction(u, v, g.VertexKind(u), g.VertexKind(v), wgt); err != nil {
+				return false
+			}
+		}
+		return true
+	})
+	return sub.WriteDOT(w, graph.DOTOptions{Name: "fig2", ShowWeights: true})
+}
+
+// Fig3 runs the k=2 time series of Fig. 3 for one method.
+func (d *Dataset) Fig3(method sim.Method) (*sim.Result, error) {
+	return d.Run(method, 2)
+}
+
+// Fig4Cell is one box/violin glyph of Fig. 4: the distribution of a
+// window metric for (method, k, period), plus the period's total moves.
+type Fig4Cell struct {
+	Method   sim.Method
+	K        int
+	Period   string
+	CutStats stats.Summary
+	BalStats stats.Summary
+	// CutDensity/BalDensity are violin outlines (KDE over the windows).
+	CutDensity []float64
+	BalDensity []float64
+	Moves      int64
+}
+
+// fig4Periods are the paper's 2017 sub-periods.
+var fig4Periods = []struct {
+	label      string
+	start, end time.Time
+}{
+	{"01.17-06.17", time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC), time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC)},
+	{"06.17-09.17", time.Date(2017, 6, 1, 0, 0, 0, 0, time.UTC), time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC)},
+	{"09.17-12.17", time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC), time.Date(2017, 12, 1, 0, 0, 0, 0, time.UTC)},
+	{"12.17-01.18", time.Date(2017, 12, 1, 0, 0, 0, 0, time.UTC), time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)},
+}
+
+// Fig4Periods returns the labels of the paper's 2017 sub-periods.
+func Fig4Periods() []string {
+	labels := make([]string, len(fig4Periods))
+	for i, p := range fig4Periods {
+		labels[i] = p.label
+	}
+	return labels
+}
+
+// Fig4 computes every cell of Fig. 4 for the given shard counts (the paper
+// uses 2 and 8).
+func (d *Dataset) Fig4(ks []int) ([]Fig4Cell, error) {
+	var cells []Fig4Cell
+	for _, k := range ks {
+		for _, m := range sim.Methods() {
+			res, err := d.Run(m, k)
+			if err != nil {
+				return nil, err
+			}
+			for _, period := range fig4Periods {
+				var cuts, bals []float64
+				var moves int64
+				for _, win := range res.Windows {
+					if win.Start.Before(period.start) || !win.Start.Before(period.end) {
+						continue
+					}
+					if win.Interactions > 0 {
+						cuts = append(cuts, win.DynamicCut)
+						bals = append(bals, win.DynamicBalance)
+					}
+					moves += win.Moves
+				}
+				cell := Fig4Cell{
+					Method: m, K: k, Period: period.label,
+					CutStats: stats.Summarize(cuts),
+					BalStats: stats.Summarize(bals),
+					Moves:    moves,
+				}
+				_, cell.CutDensity = stats.KDE(cuts, 32)
+				_, cell.BalDensity = stats.KDE(bals, 32)
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Fig5Row is one point of Fig. 5: a method at a shard count.
+type Fig5Row struct {
+	Method sim.Method
+	K      int
+	// DynamicCut is the run-level cross-shard fraction.
+	DynamicCut float64
+	// NormBalance is the paper's normalized dynamic balance,
+	// (balance−1)/(k−1).
+	NormBalance float64
+	Moves       int64
+	MovedSlots  int64
+}
+
+// Fig5 sweeps the shard counts (the paper uses 2, 4, 8) over all methods
+// on the full history.
+func (d *Dataset) Fig5(ks []int) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, m := range sim.Methods() {
+		for _, k := range ks {
+			res, err := d.Run(m, k)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig5Row{
+				Method:      m,
+				K:           k,
+				DynamicCut:  res.OverallDynamicCut,
+				NormBalance: normBalance(res.OverallDynamicBalance, k),
+				Moves:       res.TotalMoves,
+				MovedSlots:  res.TotalMovedSlots,
+			})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Method != rows[j].Method {
+			return rows[i].Method < rows[j].Method
+		}
+		return rows[i].K < rows[j].K
+	})
+	return rows, nil
+}
+
+func normBalance(balance float64, k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return (balance - 1) / float64(k-1)
+}
+
+// RecordsOf returns the dataset's records (for trace export).
+func (d *Dataset) RecordsOf() []trace.Record { return d.GT.Records }
+
+func monthStart(t time.Time) time.Time {
+	return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+}

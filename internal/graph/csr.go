@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compact, immutable, undirected view of a Graph in compressed
+// sparse row form. It is the representation consumed by the partitioners:
+// directed edges u->v and v->u are merged into a single undirected edge whose
+// weight is the sum of both directions.
+//
+// Vertices are renumbered to dense local indices [0, N). IDs maps a local
+// index back to the original VertexID and Index maps a VertexID to its local
+// index.
+type CSR struct {
+	// IDs maps local index -> original vertex ID, sorted ascending.
+	IDs []VertexID
+	// Index maps original vertex ID -> local index.
+	Index map[VertexID]int32
+	// VW holds per-vertex dynamic weights (interaction counts).
+	VW []int64
+	// XAdj is the CSR row index: the neighbours of local vertex i are
+	// Adj[XAdj[i]:XAdj[i+1]] with weights AdjW at the same positions.
+	XAdj []int32
+	// Adj holds neighbour local indices.
+	Adj []int32
+	// AdjW holds undirected edge weights, parallel to Adj.
+	AdjW []int64
+
+	// TotalVW is the sum of VW.
+	TotalVW int64
+	// TotalEW is the sum of undirected edge weights, counting each
+	// undirected edge once.
+	TotalEW int64
+	// NumEdges is the number of undirected edges (each counted once).
+	NumEdges int
+}
+
+// NewCSR builds the undirected CSR view of g. The result does not alias g;
+// later mutations of g are not reflected.
+func NewCSR(g *Graph) *CSR {
+	n := g.VertexCount()
+	c := &CSR{
+		IDs:   g.VertexIDs(),
+		Index: make(map[VertexID]int32, n),
+		VW:    make([]int64, n),
+		XAdj:  make([]int32, n+1),
+	}
+	for i, id := range c.IDs {
+		c.Index[id] = int32(i)
+	}
+
+	// First pass: degrees.
+	deg := make([]int32, n)
+	for i, id := range c.IDs {
+		c.VW[i] = g.VertexWeight(id)
+		c.TotalVW += c.VW[i]
+		deg[i] = int32(g.Degree(id))
+	}
+	var total int32
+	for i := 0; i < n; i++ {
+		c.XAdj[i] = total
+		total += deg[i]
+	}
+	c.XAdj[n] = total
+	c.Adj = make([]int32, total)
+	c.AdjW = make([]int64, total)
+
+	// Second pass: fill adjacency.
+	fill := make([]int32, n)
+	copy(fill, c.XAdj[:n])
+	for i, id := range c.IDs {
+		li := int32(i)
+		g.Neighbors(id, func(v VertexID, w int64) bool {
+			lj := c.Index[v]
+			c.Adj[fill[li]] = lj
+			c.AdjW[fill[li]] = w
+			fill[li]++
+			if li < lj { // count each undirected edge once
+				c.TotalEW += w
+				c.NumEdges++
+			}
+			return true
+		})
+	}
+	// Sort each row by neighbour index for deterministic iteration.
+	for i := 0; i < n; i++ {
+		lo, hi := c.XAdj[i], c.XAdj[i+1]
+		row := adjRow{adj: c.Adj[lo:hi], w: c.AdjW[lo:hi]}
+		sort.Sort(row)
+	}
+	return c
+}
+
+// adjRow sorts an adjacency row and its weights together.
+type adjRow struct {
+	adj []int32
+	w   []int64
+}
+
+func (r adjRow) Len() int           { return len(r.adj) }
+func (r adjRow) Less(i, j int) bool { return r.adj[i] < r.adj[j] }
+func (r adjRow) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.w[i], r.w[j] = r.w[j], r.w[i]
+}
+
+// N returns the number of vertices.
+func (c *CSR) N() int { return len(c.IDs) }
+
+// Degree returns the undirected degree of local vertex i.
+func (c *CSR) Degree(i int32) int32 { return c.XAdj[i+1] - c.XAdj[i] }
+
+// Row returns the neighbour indices and weights of local vertex i. The
+// returned slices alias the CSR and must not be modified.
+func (c *CSR) Row(i int32) ([]int32, []int64) {
+	lo, hi := c.XAdj[i], c.XAdj[i+1]
+	return c.Adj[lo:hi], c.AdjW[lo:hi]
+}
+
+// Validate checks structural invariants: symmetric adjacency, consistent
+// weights, sorted rows and matching totals. It is used by tests and is cheap
+// enough to call on moderately sized graphs.
+func (c *CSR) Validate() error {
+	n := c.N()
+	if len(c.VW) != n || len(c.XAdj) != n+1 {
+		return fmt.Errorf("csr: inconsistent lengths (n=%d, vw=%d, xadj=%d)", n, len(c.VW), len(c.XAdj))
+	}
+	if int(c.XAdj[n]) != len(c.Adj) || len(c.Adj) != len(c.AdjW) {
+		return fmt.Errorf("csr: adjacency length mismatch")
+	}
+	var ew int64
+	var edges int
+	for i := int32(0); int(i) < n; i++ {
+		adj, w := c.Row(i)
+		for p, j := range adj {
+			if j < 0 || int(j) >= n {
+				return fmt.Errorf("csr: vertex %d has out-of-range neighbour %d", i, j)
+			}
+			if j == i {
+				return fmt.Errorf("csr: vertex %d has a self-loop", i)
+			}
+			if p > 0 && adj[p-1] >= j {
+				return fmt.Errorf("csr: row %d not strictly sorted", i)
+			}
+			// Symmetry: j must list i with the same weight.
+			radj, rw := c.Row(j)
+			pos := sort.Search(len(radj), func(q int) bool { return radj[q] >= i })
+			if pos == len(radj) || radj[pos] != i {
+				return fmt.Errorf("csr: edge %d-%d not symmetric", i, j)
+			}
+			if rw[pos] != w[p] {
+				return fmt.Errorf("csr: edge %d-%d weight mismatch (%d vs %d)", i, j, w[p], rw[pos])
+			}
+			if i < j {
+				ew += w[p]
+				edges++
+			}
+		}
+	}
+	if ew != c.TotalEW {
+		return fmt.Errorf("csr: TotalEW=%d, recomputed %d", c.TotalEW, ew)
+	}
+	if edges != c.NumEdges {
+		return fmt.Errorf("csr: NumEdges=%d, recomputed %d", c.NumEdges, edges)
+	}
+	var vw int64
+	for _, w := range c.VW {
+		vw += w
+	}
+	if vw != c.TotalVW {
+		return fmt.Errorf("csr: TotalVW=%d, recomputed %d", c.TotalVW, vw)
+	}
+	return nil
+}

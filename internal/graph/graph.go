@@ -1,0 +1,301 @@
+// Package graph implements the weighted directed multigraph used to model a
+// blockchain: vertices are accounts and smart contracts, edges are
+// interactions between them (currency transfers and contract activations),
+// and weights count how often a vertex or an edge appears in the workload.
+//
+// The package supports incremental construction (one interaction at a time,
+// as transactions execute), snapshots, windowed sub-graphs, a compact CSR
+// form consumed by the partitioners, and DOT export for visualisation.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID uniquely identifies an account or contract in the graph.
+//
+// IDs are assigned by the caller (typically the address registry in the
+// chain package) and are stable across snapshots: the same account keeps the
+// same ID for the life of the blockchain.
+type VertexID uint64
+
+// Kind distinguishes externally-owned accounts from smart contracts.
+type Kind uint8
+
+// Vertex kinds. The zero value is invalid so that an unset Kind is caught
+// early.
+const (
+	// KindAccount is an externally-owned account controlled by a user key.
+	KindAccount Kind = iota + 1
+	// KindContract is a smart contract whose code lives in the blockchain.
+	KindContract
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindAccount:
+		return "account"
+	case KindContract:
+		return "contract"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is one of the declared kinds.
+func (k Kind) Valid() bool { return k == KindAccount || k == KindContract }
+
+// vertexData is the per-vertex record held by a Graph.
+type vertexData struct {
+	kind   Kind
+	weight int64 // dynamic weight: number of interactions the vertex took part in
+}
+
+// Graph is a directed multigraph with weighted vertices and edges.
+//
+// A Graph is not safe for concurrent mutation; wrap it in a lock if multiple
+// goroutines build it. Read-only access after construction is safe.
+//
+// The zero value is not usable; call New.
+type Graph struct {
+	vertices map[VertexID]*vertexData
+	out      map[VertexID]map[VertexID]int64 // out[u][v] = weight of edge u->v
+	in       map[VertexID]map[VertexID]int64 // in[v][u]  = weight of edge u->v
+
+	numEdges        int   // number of distinct directed (u,v) pairs
+	totalEdgeWeight int64 // sum of all directed edge weights
+	totalVertWeight int64 // sum of all vertex weights
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		vertices: make(map[VertexID]*vertexData),
+		out:      make(map[VertexID]map[VertexID]int64),
+		in:       make(map[VertexID]map[VertexID]int64),
+	}
+}
+
+// EnsureVertex adds a vertex with the given kind if it does not exist yet and
+// returns true if the vertex was created. The kind of an existing vertex is
+// never changed: accounts that later deploy code are modelled as separate
+// contract vertices by the caller.
+func (g *Graph) EnsureVertex(id VertexID, kind Kind) bool {
+	if _, ok := g.vertices[id]; ok {
+		return false
+	}
+	g.vertices[id] = &vertexData{kind: kind}
+	return true
+}
+
+// HasVertex reports whether id is in the graph.
+func (g *Graph) HasVertex(id VertexID) bool {
+	_, ok := g.vertices[id]
+	return ok
+}
+
+// VertexKind returns the kind of vertex id, or zero if the vertex is absent.
+func (g *Graph) VertexKind(id VertexID) Kind {
+	if v, ok := g.vertices[id]; ok {
+		return v.kind
+	}
+	return 0
+}
+
+// VertexWeight returns the dynamic weight (interaction count) of id, or zero
+// if the vertex is absent.
+func (g *Graph) VertexWeight(id VertexID) int64 {
+	if v, ok := g.vertices[id]; ok {
+		return v.weight
+	}
+	return 0
+}
+
+// AddInteraction records w occurrences of an interaction from vertex `from`
+// of kind fromKind to vertex `to` of kind toKind. Missing vertices are
+// created. Both endpoint weights and the directed edge weight increase by w.
+//
+// Self-interactions (from == to) are legal — a contract may call itself —
+// and contribute vertex weight but no edge, mirroring how the paper's
+// edge-cut metric treats them (a self-loop can never be cut).
+func (g *Graph) AddInteraction(from, to VertexID, fromKind, toKind Kind, w int64) error {
+	if w <= 0 {
+		return fmt.Errorf("graph: interaction weight must be positive, got %d", w)
+	}
+	if !fromKind.Valid() || !toKind.Valid() {
+		return fmt.Errorf("graph: invalid vertex kind (from %v, to %v)", fromKind, toKind)
+	}
+	g.EnsureVertex(from, fromKind)
+	g.EnsureVertex(to, toKind)
+
+	g.vertices[from].weight += w
+	g.totalVertWeight += w
+	if from == to {
+		return nil
+	}
+	g.vertices[to].weight += w
+	g.totalVertWeight += w
+
+	m := g.out[from]
+	if m == nil {
+		m = make(map[VertexID]int64)
+		g.out[from] = m
+	}
+	if _, existed := m[to]; !existed {
+		g.numEdges++
+	}
+	m[to] += w
+
+	r := g.in[to]
+	if r == nil {
+		r = make(map[VertexID]int64)
+		g.in[to] = r
+	}
+	r[from] += w
+
+	g.totalEdgeWeight += w
+	return nil
+}
+
+// VertexCount returns the number of vertices.
+func (g *Graph) VertexCount() int { return len(g.vertices) }
+
+// EdgeCount returns the number of distinct directed edges.
+func (g *Graph) EdgeCount() int { return g.numEdges }
+
+// TotalEdgeWeight returns the sum of all directed edge weights.
+func (g *Graph) TotalEdgeWeight() int64 { return g.totalEdgeWeight }
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() int64 { return g.totalVertWeight }
+
+// Vertices calls fn for every vertex until fn returns false. Iteration order
+// is unspecified.
+func (g *Graph) Vertices(fn func(id VertexID, kind Kind, weight int64) bool) {
+	for id, v := range g.vertices {
+		if !fn(id, v.kind, v.weight) {
+			return
+		}
+	}
+}
+
+// VertexIDs returns all vertex IDs in ascending order. The slice is freshly
+// allocated on every call.
+func (g *Graph) VertexIDs() []VertexID {
+	ids := make([]VertexID, 0, len(g.vertices))
+	for id := range g.vertices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// OutNeighbors calls fn for every directed edge leaving u until fn returns
+// false.
+func (g *Graph) OutNeighbors(u VertexID, fn func(v VertexID, w int64) bool) {
+	for v, w := range g.out[u] {
+		if !fn(v, w) {
+			return
+		}
+	}
+}
+
+// InNeighbors calls fn for every directed edge entering v until fn returns
+// false.
+func (g *Graph) InNeighbors(v VertexID, fn func(u VertexID, w int64) bool) {
+	for u, w := range g.in[v] {
+		if !fn(u, w) {
+			return
+		}
+	}
+}
+
+// Neighbors calls fn once per undirected neighbour of u with the combined
+// weight w(u->v)+w(v->u), until fn returns false. This is the adjacency the
+// partitioners and the incremental placement rule consume.
+func (g *Graph) Neighbors(u VertexID, fn func(v VertexID, w int64) bool) {
+	seen := g.out[u]
+	for v, w := range seen {
+		if back, ok := g.in[u]; ok {
+			if bw, ok := back[v]; ok {
+				w += bw
+			}
+		}
+		if !fn(v, w) {
+			return
+		}
+	}
+	for v, w := range g.in[u] {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		if !fn(v, w) {
+			return
+		}
+	}
+}
+
+// Degree returns the number of distinct undirected neighbours of u.
+func (g *Graph) Degree(u VertexID) int {
+	n := len(g.out[u])
+	for v := range g.in[u] {
+		if _, dup := g.out[u][v]; !dup {
+			n++
+		}
+	}
+	return n
+}
+
+// EdgeWeight returns the weight of the directed edge u->v, or zero when the
+// edge is absent.
+func (g *Graph) EdgeWeight(u, v VertexID) int64 {
+	if m, ok := g.out[u]; ok {
+		return m[v]
+	}
+	return 0
+}
+
+// Edges calls fn for every distinct directed edge until fn returns false.
+// Iteration order is unspecified.
+func (g *Graph) Edges(fn func(u, v VertexID, w int64) bool) {
+	for u, m := range g.out {
+		for v, w := range m {
+			if !fn(u, v, w) {
+				return
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		vertices:        make(map[VertexID]*vertexData, len(g.vertices)),
+		out:             make(map[VertexID]map[VertexID]int64, len(g.out)),
+		in:              make(map[VertexID]map[VertexID]int64, len(g.in)),
+		numEdges:        g.numEdges,
+		totalEdgeWeight: g.totalEdgeWeight,
+		totalVertWeight: g.totalVertWeight,
+	}
+	for id, v := range g.vertices {
+		vc := *v
+		c.vertices[id] = &vc
+	}
+	for u, m := range g.out {
+		mc := make(map[VertexID]int64, len(m))
+		for v, w := range m {
+			mc[v] = w
+		}
+		c.out[u] = mc
+	}
+	for v, m := range g.in {
+		mc := make(map[VertexID]int64, len(m))
+		for u, w := range m {
+			mc[u] = w
+		}
+		c.in[v] = mc
+	}
+	return c
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ethpart/internal/graph"
+)
+
+// fixedShards adapts a map to a ShardFunc.
+func fixedShards(m map[graph.VertexID]int) ShardFunc {
+	return func(v graph.VertexID) (int, bool) {
+		s, ok := m[v]
+		return s, ok
+	}
+}
+
+func buildGraph(t *testing.T, edges [][3]int64) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for _, e := range edges {
+		if err := g.AddInteraction(graph.VertexID(e[0]), graph.VertexID(e[1]),
+			graph.KindAccount, graph.KindAccount, e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestEdgeCutStaticAndDynamic(t *testing.T) {
+	// Edges: 1-2 (w=9, same shard), 1-3 (w=1, cut).
+	g := buildGraph(t, [][3]int64{{1, 2, 9}, {1, 3, 1}})
+	shards := fixedShards(map[graph.VertexID]int{1: 0, 2: 0, 3: 1})
+
+	static := EdgeCut(g, shards, false)
+	if math.Abs(static-0.5) > 1e-9 {
+		t.Errorf("static cut = %v, want 0.5", static)
+	}
+	dynamic := EdgeCut(g, shards, true)
+	if math.Abs(dynamic-0.1) > 1e-9 {
+		t.Errorf("dynamic cut = %v, want 0.1", dynamic)
+	}
+}
+
+func TestEdgeCutSkipsUnassigned(t *testing.T) {
+	g := buildGraph(t, [][3]int64{{1, 2, 1}, {1, 3, 1}})
+	shards := fixedShards(map[graph.VertexID]int{1: 0, 2: 1}) // 3 unassigned
+	if got := EdgeCut(g, shards, false); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("cut = %v, want 1.0 (only the assigned edge counts)", got)
+	}
+}
+
+func TestEdgeCutEmptyGraph(t *testing.T) {
+	if got := EdgeCut(graph.New(), fixedShards(nil), false); got != 0 {
+		t.Errorf("empty graph cut = %v, want 0", got)
+	}
+}
+
+func TestBalancePaperExample(t *testing.T) {
+	// Eq. 2 example from the paper: k=2, one shard 30% over average gives
+	// balance 1.3. With 13 vs 7 vertices: max=13, 13*2/20 = 1.3.
+	g := graph.New()
+	shards := map[graph.VertexID]int{}
+	for i := 0; i < 13; i++ {
+		g.EnsureVertex(graph.VertexID(i), graph.KindAccount)
+		shards[graph.VertexID(i)] = 0
+	}
+	for i := 13; i < 20; i++ {
+		g.EnsureVertex(graph.VertexID(i), graph.KindAccount)
+		shards[graph.VertexID(i)] = 1
+	}
+	got := Balance(g, fixedShards(shards), 2, false)
+	if math.Abs(got-1.3) > 1e-9 {
+		t.Errorf("balance = %v, want 1.3", got)
+	}
+}
+
+func TestDynamicBalanceUsesWeights(t *testing.T) {
+	// Two vertices per shard, but shard 0's vertices are 9x more active.
+	g := buildGraph(t, [][3]int64{{1, 2, 9}, {3, 4, 1}})
+	shards := fixedShards(map[graph.VertexID]int{1: 0, 2: 0, 3: 1, 4: 1})
+	static := Balance(g, shards, 2, false)
+	if math.Abs(static-1.0) > 1e-9 {
+		t.Errorf("static balance = %v, want 1.0", static)
+	}
+	dynamic := Balance(g, shards, 2, true)
+	if math.Abs(dynamic-1.8) > 1e-9 {
+		t.Errorf("dynamic balance = %v, want 1.8 (18 of 20 weight in one shard)", dynamic)
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	if got := LoadBalance([]int64{10, 10}); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("LoadBalance(10,10) = %v", got)
+	}
+	if got := LoadBalance([]int64{20, 0}); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("LoadBalance(20,0) = %v", got)
+	}
+	if got := LoadBalance([]int64{0, 0}); got != 1 {
+		t.Errorf("LoadBalance of no load = %v, want 1 (perfectly balanced)", got)
+	}
+}
+
+func TestNormalizedBalance(t *testing.T) {
+	tests := []struct {
+		bal  float64
+		k    int
+		want float64
+	}{
+		{1.0, 2, 0},
+		{2.0, 2, 1},
+		{1.5, 2, 0.5},
+		{8.0, 8, 1},
+		{1.0, 8, 0},
+		{1.0, 1, 0},
+	}
+	for _, tt := range tests {
+		if got := NormalizedBalance(tt.bal, tt.k); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("NormalizedBalance(%v, %d) = %v, want %v", tt.bal, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestPartsVariantsAgreeWithGraphVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.New()
+	shards := map[graph.VertexID]int{}
+	for i := 0; i < 500; i++ {
+		u := graph.VertexID(rng.Intn(100))
+		v := graph.VertexID(rng.Intn(100))
+		if err := g.AddInteraction(u, v, graph.KindAccount, graph.KindAccount, int64(1+rng.Intn(5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Vertices(func(id graph.VertexID, _ graph.Kind, _ int64) bool {
+		shards[id] = int(id) % 4
+		return true
+	})
+	c := graph.NewCSR(g)
+	parts := make([]int, c.N())
+	for i, id := range c.IDs {
+		parts[i] = shards[id]
+	}
+	// Balance agrees exactly (same vertex sets).
+	for _, dyn := range []bool{false, true} {
+		bg := Balance(g, fixedShards(shards), 4, dyn)
+		bp := BalanceParts(c, parts, 4, dyn)
+		if math.Abs(bg-bp) > 1e-9 {
+			t.Errorf("dyn=%v balance mismatch: graph %v vs parts %v", dyn, bg, bp)
+		}
+	}
+	// Dynamic cut agrees exactly: every directed edge u->v contributes its
+	// weight once in the graph view; the CSR merges u->v and v->u but the
+	// merged weight equals the sum, so totals and cut weights match.
+	cg := EdgeCut(g, fixedShards(shards), true)
+	cp := EdgeCutParts(c, parts, true)
+	if math.Abs(cg-cp) > 1e-9 {
+		t.Errorf("dynamic cut mismatch: graph %v vs parts %v", cg, cp)
+	}
+}
+
+func TestPropertyCutBounds(t *testing.T) {
+	// Property: edge-cut is in [0,1]; balance is in [1,k] for any
+	// assignment covering all vertices.
+	f := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 2
+		m := int(mRaw%150) + 1
+		k := int(kRaw%8) + 1
+		g := graph.New()
+		shards := map[graph.VertexID]int{}
+		for i := 0; i < m; i++ {
+			u := graph.VertexID(rng.Intn(n))
+			v := graph.VertexID(rng.Intn(n))
+			if err := g.AddInteraction(u, v, graph.KindAccount, graph.KindAccount, int64(1+rng.Intn(9))); err != nil {
+				return false
+			}
+		}
+		g.Vertices(func(id graph.VertexID, _ graph.Kind, _ int64) bool {
+			shards[id] = rng.Intn(k)
+			return true
+		})
+		sf := fixedShards(shards)
+		for _, dyn := range []bool{false, true} {
+			cut := EdgeCut(g, sf, dyn)
+			if cut < 0 || cut > 1 {
+				return false
+			}
+			bal := Balance(g, sf, k, dyn)
+			if bal < 1-1e-9 || bal > float64(k)+1e-9 {
+				return false
+			}
+			nb := NormalizedBalance(bal, k)
+			if nb < -1e-9 || nb > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

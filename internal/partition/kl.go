@@ -1,0 +1,185 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ethpart/internal/graph"
+)
+
+// KLConfig parameterises the distributed Kernighan–Lin method.
+type KLConfig struct {
+	// MaxRounds bounds the number of propose/exchange rounds per
+	// refinement. The algorithm stops earlier when no shard proposes a
+	// positive-gain move.
+	MaxRounds int
+	// MaxCandidatesPerPair caps how many vertices one shard may propose to
+	// another per round, modelling the bounded per-round migration of the
+	// production systems this scheme comes from. Zero means unlimited.
+	MaxCandidatesPerPair int
+	// Seed drives the probabilistic exchange; a fixed seed makes runs
+	// reproducible.
+	Seed int64
+}
+
+// DefaultKLConfig returns the configuration used in the experiments.
+func DefaultKLConfig() KLConfig {
+	return KLConfig{MaxRounds: 8, MaxCandidatesPerPair: 0, Seed: 1}
+}
+
+// KL implements the paper's distributed Kernighan–Lin variant (§II-C):
+// each shard independently selects vertices whose move to another shard
+// would reduce the (dynamic) edge-cut, an oracle gathers the per-pair
+// proposal counts into a k×k probability matrix that keeps the exchange
+// balanced, and shards then move each proposed vertex with the oracle's
+// probability. Intuitively the matrix lets shard i send to shard j only as
+// much as j sends back, so shard sizes stay put while the cut drops.
+//
+// KL refines an existing partition; it never partitions from scratch (the
+// paper bootstraps it with hashing).
+type KL struct {
+	cfg KLConfig
+}
+
+var _ Refiner = (*KL)(nil)
+
+// NewKL returns a KL refiner with the given configuration. Zero-valued
+// fields fall back to DefaultKLConfig.
+func NewKL(cfg KLConfig) *KL {
+	def := DefaultKLConfig()
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = def.MaxRounds
+	}
+	return &KL{cfg: cfg}
+}
+
+// proposal is one shard's wish to move a vertex to another shard.
+type proposal struct {
+	vertex int32
+	gain   int64
+}
+
+// Refine implements Refiner.
+func (kl *KL) Refine(c *graph.CSR, k int, current []int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: kl: k must be >= 1, got %d", k)
+	}
+	if len(current) != c.N() {
+		return nil, fmt.Errorf("partition: kl: current has %d entries for %d vertices", len(current), c.N())
+	}
+	if err := ValidateParts(current, k); err != nil {
+		return nil, fmt.Errorf("partition: kl: %w", err)
+	}
+	parts := append([]int(nil), current...)
+	rng := rand.New(rand.NewSource(kl.cfg.Seed))
+
+	for round := 0; round < kl.cfg.MaxRounds; round++ {
+		props := kl.propose(c, k, parts)
+		x := proposalCounts(props, k)
+		p := ProbabilityMatrix(x)
+		moved := kl.exchange(rng, props, p, parts)
+		if moved == 0 {
+			break
+		}
+	}
+	return parts, nil
+}
+
+// propose runs the per-shard selection phase: for every vertex, compute the
+// gain of moving it to its most attractive external shard; keep positive
+// gains, best-gain first, capped per pair.
+func (kl *KL) propose(c *graph.CSR, k int, parts []int) [][]proposal {
+	props := make([][]proposal, k*k)
+	attract := make([]int64, k)
+	for v := int32(0); int(v) < c.N(); v++ {
+		from := parts[v]
+		adj, w := c.Row(v)
+		for i := range attract {
+			attract[i] = 0
+		}
+		for p, u := range adj {
+			attract[parts[u]] += w[p]
+		}
+		bestShard, bestGain := -1, int64(0)
+		for s := 0; s < k; s++ {
+			if s == from {
+				continue
+			}
+			if gain := attract[s] - attract[from]; gain > bestGain {
+				bestShard, bestGain = s, gain
+			}
+		}
+		if bestShard >= 0 {
+			idx := from*k + bestShard
+			props[idx] = append(props[idx], proposal{vertex: v, gain: bestGain})
+		}
+	}
+	for idx := range props {
+		sort.Slice(props[idx], func(a, b int) bool { return props[idx][a].gain > props[idx][b].gain })
+		if limit := kl.cfg.MaxCandidatesPerPair; limit > 0 && len(props[idx]) > limit {
+			props[idx] = props[idx][:limit]
+		}
+	}
+	return props
+}
+
+// proposalCounts reduces proposals to the per-pair counts the oracle sees.
+func proposalCounts(props [][]proposal, k int) [][]int {
+	x := make([][]int, k)
+	for i := range x {
+		x[i] = make([]int, k)
+		for j := 0; j < k; j++ {
+			x[i][j] = len(props[i*k+j])
+		}
+	}
+	return x
+}
+
+// ProbabilityMatrix is the oracle computation: given x[i][j] = number of
+// vertices shard i proposes to move to shard j, return p[i][j], the
+// probability with which each such proposal should be executed so that the
+// expected flow i→j equals the expected flow j→i and shards stay balanced.
+//
+// Exported separately because it is the paper's "oracle" component and is
+// property-tested on its own.
+func ProbabilityMatrix(x [][]int) [][]float64 {
+	k := len(x)
+	p := make([][]float64, k)
+	for i := range p {
+		p[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			if i == j || x[i][j] == 0 {
+				continue
+			}
+			matched := min(x[i][j], x[j][i])
+			p[i][j] = float64(matched) / float64(x[i][j])
+		}
+	}
+	return p
+}
+
+// exchange executes proposals with the oracle's probabilities and returns
+// the number of vertices moved.
+func (kl *KL) exchange(rng *rand.Rand, props [][]proposal, p [][]float64, parts []int) int {
+	k := len(p)
+	moved := 0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			prob := p[i][j]
+			if prob == 0 {
+				continue
+			}
+			for _, prop := range props[i*k+j] {
+				if parts[prop.vertex] != i {
+					continue // already moved this round
+				}
+				if rng.Float64() < prob {
+					parts[prop.vertex] = j
+					moved++
+				}
+			}
+		}
+	}
+	return moved
+}

@@ -1,0 +1,137 @@
+package multilevel
+
+import (
+	"math/rand"
+)
+
+// level is one rung of the coarsening ladder: the fine graph and the map
+// from its vertices to the coarse graph built from it.
+type level struct {
+	fine *mlGraph
+	cmap []int32
+}
+
+// heavyEdgeMatching computes a matching that prefers heavy edges: vertices
+// are visited in random order and an unmatched vertex pairs with its
+// unmatched neighbour of maximum edge weight. maxVW caps the combined
+// weight of a pair so hubs do not snowball into unsplittable supernodes.
+// With random set, the first eligible neighbour in the (shuffled) visit is
+// taken regardless of weight — the random-matching ablation.
+// It returns the fine→coarse map and the coarse vertex count.
+func heavyEdgeMatching(g *mlGraph, rng *rand.Rand, maxVW int64, random bool) (cmap []int32, nCoarse int) {
+	n := g.n()
+	cmap = make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	order := rng.Perm(n)
+	next := int32(0)
+	for _, vi := range order {
+		v := int32(vi)
+		if cmap[v] >= 0 {
+			continue
+		}
+		adj, w := g.row(v)
+		var best int32 = -1
+		var bestW int64 = -1
+		for p, u := range adj {
+			if cmap[u] >= 0 || u == v {
+				continue
+			}
+			if g.vw[v]+g.vw[u] > maxVW {
+				continue
+			}
+			if random {
+				best = u
+				break
+			}
+			if w[p] > bestW {
+				best, bestW = u, w[p]
+			}
+		}
+		cmap[v] = next
+		if best >= 0 {
+			cmap[best] = next
+		}
+		next++
+	}
+	return cmap, int(next)
+}
+
+// contract builds the coarse graph induced by cmap: matched pairs merge
+// their vertex weights, parallel edges merge their weights, and edges
+// internal to a pair disappear.
+func contract(g *mlGraph, cmap []int32, nCoarse int) *mlGraph {
+	coarse := &mlGraph{
+		xadj:    make([]int32, 1, nCoarse+1),
+		vw:      make([]int64, nCoarse),
+		totalVW: g.totalVW,
+	}
+	// members lists the fine vertices of each coarse vertex.
+	members := make([][2]int32, nCoarse)
+	for i := range members {
+		members[i] = [2]int32{-1, -1}
+	}
+	for v := int32(0); int(v) < g.n(); v++ {
+		c := cmap[v]
+		if members[c][0] < 0 {
+			members[c][0] = v
+		} else {
+			members[c][1] = v
+		}
+		coarse.vw[c] += g.vw[v]
+	}
+	// Scratch arrays replace a per-vertex map: mark[u] records the coarse
+	// vertex currently accumulating edge u, pos[u] where in the adjacency
+	// its weight lives. Deterministic (append order follows member
+	// iteration) and allocation-free per coarse vertex.
+	mark := make([]int32, nCoarse)
+	pos := make([]int32, nCoarse)
+	for i := range mark {
+		mark[i] = -1
+	}
+	coarse.adj = make([]int32, 0, len(g.adj)/2)
+	coarse.adjw = make([]int64, 0, len(g.adj)/2)
+	for c := int32(0); int(c) < nCoarse; c++ {
+		for _, v := range members[c] {
+			if v < 0 {
+				continue
+			}
+			adj, w := g.row(v)
+			for p, u := range adj {
+				cu := cmap[u]
+				if cu == c {
+					continue
+				}
+				if mark[cu] != c {
+					mark[cu] = c
+					pos[cu] = int32(len(coarse.adj))
+					coarse.adj = append(coarse.adj, cu)
+					coarse.adjw = append(coarse.adjw, w[p])
+				} else {
+					coarse.adjw[pos[cu]] += w[p]
+				}
+			}
+		}
+		coarse.xadj = append(coarse.xadj, int32(len(coarse.adj)))
+	}
+	return coarse
+}
+
+// coarsen builds the ladder of successively coarser graphs, stopping when
+// the graph is small enough or matching stops making progress.
+func coarsen(g *mlGraph, rng *rand.Rand, coarsenTo int, maxVW int64, random bool) []level {
+	var ladder []level
+	cur := g
+	for cur.n() > coarsenTo {
+		cmap, nCoarse := heavyEdgeMatching(cur, rng, maxVW, random)
+		if float64(nCoarse) > 0.95*float64(cur.n()) {
+			break // diminishing returns; stop coarsening
+		}
+		next := contract(cur, cmap, nCoarse)
+		ladder = append(ladder, level{fine: cur, cmap: cmap})
+		cur = next
+	}
+	ladder = append(ladder, level{fine: cur, cmap: nil})
+	return ladder
+}

@@ -1,0 +1,168 @@
+package multilevel
+
+import (
+	"container/heap"
+)
+
+// fmRefine runs Fiduccia–Mattheyses boundary refinement on a two-way
+// partition: repeatedly move the highest-gain movable vertex to the other
+// side (respecting the balance envelope), lock it, and at the end of the
+// pass roll back to the best prefix seen. Passes repeat until one yields no
+// improvement or maxPasses is reached.
+//
+// Only boundary vertices (those with at least one cross edge) enter the
+// move queue: interior vertices always have negative gain, and restricting
+// the queue to the boundary is what makes refinement linear in the cut
+// region rather than the whole graph. Vertices become eligible as their
+// neighbours move.
+//
+// side is modified in place. targetLeft is the ideal weight of side 0 and
+// tol the allowed absolute deviation from it.
+func fmRefine(g *mlGraph, side []uint8, targetLeft, tol int64, maxPasses int) {
+	n := g.n()
+	if n == 0 {
+		return
+	}
+	gains := make([]int64, n)
+	locked := make([]bool, n)
+	var leftW int64
+	for v := 0; v < n; v++ {
+		if side[v] == 0 {
+			leftW += g.vw[v]
+		}
+	}
+
+	// computeGain also reports whether v is on the boundary.
+	computeGain := func(v int32) (int64, bool) {
+		adj, w := g.row(v)
+		var in, out int64
+		for p, u := range adj {
+			if side[u] == side[v] {
+				in += w[p]
+			} else {
+				out += w[p]
+			}
+		}
+		return out - in, out > 0
+	}
+
+	// withinAfter reports whether moving v keeps (or brings) the left
+	// weight inside the envelope, or at least improves the deviation —
+	// the latter prevents deadlock when a level starts out of balance.
+	withinAfter := func(v int32) bool {
+		newLeft := leftW
+		if side[v] == 0 {
+			newLeft -= g.vw[v]
+		} else {
+			newLeft += g.vw[v]
+		}
+		devNew := abs64(newLeft - targetLeft)
+		if devNew <= tol {
+			return true
+		}
+		return devNew < abs64(leftW-targetLeft)
+	}
+
+	pq := &gainHeap{}
+	for pass := 0; pass < maxPasses; pass++ {
+		for i := range locked {
+			locked[i] = false
+		}
+		*pq = (*pq)[:0]
+		for v := int32(0); int(v) < n; v++ {
+			gain, boundary := computeGain(v)
+			gains[v] = gain
+			if boundary {
+				*pq = append(*pq, gainItem{v: v, gain: gain})
+			}
+		}
+		heap.Init(pq)
+
+		type moveRec struct {
+			v int32
+		}
+		var (
+			moves   []moveRec
+			cum     int64
+			bestCum int64
+			bestIdx = -1 // index into moves of the best prefix end
+		)
+		// Stop a pass after this many consecutive non-improving moves —
+		// the METIS early-exit heuristic that keeps a pass linear in the
+		// productive part of the boundary instead of the whole graph.
+		const noImprovementLimit = 128
+
+		for pq.Len() > 0 {
+			if bestIdx >= 0 && len(moves)-1-bestIdx >= noImprovementLimit {
+				break
+			}
+			item := heap.Pop(pq).(gainItem)
+			v := item.v
+			if locked[v] {
+				continue
+			}
+			if item.gain != gains[v] {
+				// Stale: this vertex's gain changed since it was queued.
+				// Re-queue it at its true gain so it is not lost.
+				heap.Push(pq, gainItem{v: v, gain: gains[v]})
+				continue
+			}
+			if !withinAfter(v) {
+				continue
+			}
+			// Execute the move.
+			if side[v] == 0 {
+				side[v] = 1
+				leftW -= g.vw[v]
+			} else {
+				side[v] = 0
+				leftW += g.vw[v]
+			}
+			locked[v] = true
+			cum += item.gain
+			moves = append(moves, moveRec{v: v})
+			if cum > bestCum {
+				bestCum = cum
+				bestIdx = len(moves) - 1
+			}
+			// Update neighbour gains. Only gain *increases* need a fresh
+			// heap entry (decreases are handled lazily by the stale-pop
+			// re-queue above), which keeps the heap small on dense
+			// boundaries.
+			adj, w := g.row(v)
+			for p, u := range adj {
+				if locked[u] {
+					continue
+				}
+				if side[u] == side[v] {
+					gains[u] -= 2 * w[p]
+				} else {
+					gains[u] += 2 * w[p]
+					heap.Push(pq, gainItem{v: u, gain: gains[u]})
+				}
+			}
+		}
+
+		// Roll back past the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			v := moves[i].v
+			if side[v] == 0 {
+				side[v] = 1
+				leftW -= g.vw[v]
+			} else {
+				side[v] = 0
+				leftW += g.vw[v]
+			}
+		}
+		if bestCum <= 0 {
+			break // pass produced no improvement
+		}
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

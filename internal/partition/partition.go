@@ -1,0 +1,166 @@
+// Package partition implements the paper's five blockchain-graph
+// partitioning methods and their shared machinery:
+//
+//   - Hash: stateless hashing of vertex IDs (§II-C "Hashing");
+//   - KL: the distributed Kernighan–Lin variant in which shards propose
+//     moves and an oracle computes a k×k probability matrix that keeps the
+//     exchange balanced (§II-C "Kernighan-Lin algorithm");
+//   - Multilevel (sub-package multilevel): a METIS-style multilevel
+//     partitioner used by the METIS, R-METIS and TR-METIS methods;
+//   - the incremental placement rule used for vertices that appear between
+//     repartitionings: pick the shard that minimises edge-cut, break ties
+//     toward the better balance (§II-C "METIS" bullet).
+//
+// The windowed (R-METIS) and threshold-triggered (TR-METIS) behaviours are
+// repartitioning *policies* over these algorithms; they live in the sim
+// package, which decides when to repartition and over which graph.
+package partition
+
+import (
+	"fmt"
+
+	"ethpart/internal/graph"
+)
+
+// NoShard marks a vertex without an assignment.
+const NoShard = -1
+
+// Partitioner computes a partition of a graph from scratch.
+type Partitioner interface {
+	// Partition returns a shard in [0,k) for every local vertex of c.
+	Partition(c *graph.CSR, k int) ([]int, error)
+}
+
+// Refiner improves an existing partition in place of recomputing one.
+type Refiner interface {
+	// Refine returns an improved copy of current, which maps each local
+	// vertex of c to a shard in [0,k).
+	Refine(c *graph.CSR, k int, current []int) ([]int, error)
+}
+
+// Assignment tracks the shard of every vertex plus per-shard vertex counts.
+// It is the mutable, incremental structure the simulator maintains between
+// repartitionings; partitioners work on CSR-indexed slices and their output
+// is applied back through Apply.
+type Assignment struct {
+	k      int
+	shards map[graph.VertexID]int
+	counts []int
+}
+
+// NewAssignment returns an empty assignment over k shards.
+func NewAssignment(k int) (*Assignment, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	return &Assignment{
+		k:      k,
+		shards: make(map[graph.VertexID]int),
+		counts: make([]int, k),
+	}, nil
+}
+
+// K returns the number of shards.
+func (a *Assignment) K() int { return a.k }
+
+// Len returns the number of assigned vertices.
+func (a *Assignment) Len() int { return len(a.shards) }
+
+// ShardOf returns the shard of v.
+func (a *Assignment) ShardOf(v graph.VertexID) (int, bool) {
+	s, ok := a.shards[v]
+	return s, ok
+}
+
+// Count returns the number of vertices in shard s.
+func (a *Assignment) Count(s int) int { return a.counts[s] }
+
+// Counts returns a copy of the per-shard vertex counts.
+func (a *Assignment) Counts() []int {
+	return append([]int(nil), a.counts...)
+}
+
+// Assign places v in shard s, returning the previous shard (or NoShard) and
+// whether this was a move of an already-assigned vertex.
+func (a *Assignment) Assign(v graph.VertexID, s int) (prev int, moved bool, err error) {
+	if s < 0 || s >= a.k {
+		return NoShard, false, fmt.Errorf("partition: shard %d out of range [0,%d)", s, a.k)
+	}
+	if old, ok := a.shards[v]; ok {
+		if old == s {
+			return old, false, nil
+		}
+		a.counts[old]--
+		a.counts[s]++
+		a.shards[v] = s
+		return old, true, nil
+	}
+	a.shards[v] = s
+	a.counts[s]++
+	return NoShard, false, nil
+}
+
+// Each calls fn for every assigned vertex.
+func (a *Assignment) Each(fn func(v graph.VertexID, shard int) bool) {
+	for v, s := range a.shards {
+		if !fn(v, s) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{
+		k:      a.k,
+		shards: make(map[graph.VertexID]int, len(a.shards)),
+		counts: append([]int(nil), a.counts...),
+	}
+	for v, s := range a.shards {
+		c.shards[v] = s
+	}
+	return c
+}
+
+// Apply overwrites the assignment with a partitioner result over c,
+// returning the number of already-assigned vertices that changed shard (the
+// paper's "moves" metric counts exactly these).
+func (a *Assignment) Apply(c *graph.CSR, parts []int) (moves int, err error) {
+	if len(parts) != c.N() {
+		return 0, fmt.Errorf("partition: result has %d entries for %d vertices", len(parts), c.N())
+	}
+	for i, s := range parts {
+		_, moved, err := a.Assign(c.IDs[i], s)
+		if err != nil {
+			return moves, err
+		}
+		if moved {
+			moves++
+		}
+	}
+	return moves, nil
+}
+
+// ToParts converts the assignment into a CSR-indexed slice for refiners.
+// Unassigned vertices get NoShard.
+func (a *Assignment) ToParts(c *graph.CSR) []int {
+	parts := make([]int, c.N())
+	for i, id := range c.IDs {
+		if s, ok := a.shards[id]; ok {
+			parts[i] = s
+		} else {
+			parts[i] = NoShard
+		}
+	}
+	return parts
+}
+
+// ValidateParts checks that every entry of parts is a legal shard.
+func ValidateParts(parts []int, k int) error {
+	for i, s := range parts {
+		if s < 0 || s >= k {
+			return fmt.Errorf("partition: vertex %d has illegal shard %d (k=%d)", i, s, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"ethpart/internal/graph"
+)
+
+// placeMaxOverload caps how far above the average a shard may grow and
+// still receive new vertices: with preferential attachment the dominant
+// shard would otherwise absorb nearly every newcomer (rich-get-richer) and
+// the partition collapses between repartitionings. 20% headroom matches the
+// imbalance tolerance of the multilevel partitioner's bisections.
+const placeMaxOverload = 1.2
+
+// PlaceVertex implements the paper's incremental placement rule for a
+// vertex appearing between repartitionings: "inspecting all the accounts
+// involved in the transaction and picking the shard that minimizes
+// edge-cuts; if more than one exists, we maximize the balance." Shards more
+// than placeMaxOverload times the average size are not eligible, so the
+// rule cannot starve the other shards between repartitionings.
+//
+// g supplies the new vertex's already-known neighbours (edges created so
+// far, including those from the transaction that introduced it); a supplies
+// their shards and the per-shard vertex counts for tie-breaking. The vertex
+// is not assigned — the caller decides what to do with the answer.
+func PlaceVertex(g *graph.Graph, a *Assignment, v graph.VertexID) int {
+	k := a.K()
+	attract := make([]int64, k)
+	any := false
+	g.Neighbors(v, func(u graph.VertexID, w int64) bool {
+		if s, ok := a.ShardOf(u); ok {
+			attract[s] += w
+			any = true
+		}
+		return true
+	})
+	if !any {
+		// No placed neighbours: fall back to the emptiest shard, the
+		// balance-maximising choice.
+		return leastLoaded(a)
+	}
+	limit := loadCap(a)
+	best := -1
+	for s := 0; s < k; s++ {
+		if a.Count(s) > limit {
+			continue
+		}
+		switch {
+		case best < 0:
+			best = s
+		case attract[s] > attract[best]:
+			best = s
+		case attract[s] == attract[best] && a.Count(s) < a.Count(best):
+			best = s
+		}
+	}
+	if best < 0 {
+		return leastLoaded(a) // every shard above cap: degenerate, rebalance
+	}
+	return best
+}
+
+// loadCap returns the maximum shard size still eligible for placement. The
+// least-loaded shard is always eligible (its size is at most the average).
+func loadCap(a *Assignment) int {
+	avg := float64(a.Len()) / float64(a.K())
+	limit := int(placeMaxOverload * avg)
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// leastLoaded returns the shard with the fewest vertices, lowest index on
+// ties so the choice is deterministic.
+func leastLoaded(a *Assignment) int {
+	best := 0
+	for s := 1; s < a.K(); s++ {
+		if a.Count(s) < a.Count(best) {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,152 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"ethpart/internal/graph"
+)
+
+// This file implements two classic streaming (one-pass) partitioners as
+// additional baselines beyond the paper's five methods. Streaming placement
+// is the natural regime for a blockchain — vertices arrive with
+// transactions and must be placed immediately — so these serve as reference
+// points between stateless hashing and full offline repartitioning:
+//
+//   - LDG (Linear Deterministic Greedy, Stanton & Kliot, KDD 2012): place
+//     each vertex in the shard holding most of its already-placed
+//     neighbours, weighted by remaining shard capacity;
+//   - Fennel (Tsourakakis et al., WSDM 2014): replace LDG's hard capacity
+//     with a degree-based interpolation of modularity — neighbours attract,
+//     shard size repels with marginal cost α·γ·|S|^(γ−1).
+//
+// Both implement Partitioner by streaming the CSR in vertex order (the
+// order of first appearance in the blockchain, since vertex IDs are
+// assigned sequentially by the registry).
+
+// LDG is the Linear Deterministic Greedy streaming partitioner.
+type LDG struct {
+	// Slack is the allowed overshoot of the capacity C = n(1+Slack)/k.
+	// Default 0.1.
+	Slack float64
+}
+
+var _ Partitioner = LDG{}
+
+// Partition implements Partitioner.
+func (l LDG) Partition(c *graph.CSR, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: ldg: k must be >= 1, got %d", k)
+	}
+	slack := l.Slack
+	if slack <= 0 {
+		slack = 0.1
+	}
+	n := c.N()
+	capacity := float64(n) * (1 + slack) / float64(k)
+	parts := make([]int, n)
+	sizes := make([]int, k)
+	attract := make([]float64, k)
+
+	for v := int32(0); int(v) < n; v++ {
+		for i := range attract {
+			attract[i] = 0
+		}
+		adj, w := c.Row(v)
+		for p, u := range adj {
+			if u < v { // only already-placed neighbours
+				attract[parts[u]] += float64(w[p])
+			}
+		}
+		best, bestScore := 0, math.Inf(-1)
+		for s := 0; s < k; s++ {
+			// Neighbour pull scaled by remaining capacity; +1 so isolated
+			// vertices still prefer emptier shards.
+			score := (attract[s] + 1) * (1 - float64(sizes[s])/capacity)
+			if score > bestScore {
+				best, bestScore = s, score
+			}
+		}
+		parts[v] = best
+		sizes[best]++
+	}
+	return parts, nil
+}
+
+// Fennel is the Fennel streaming partitioner.
+type Fennel struct {
+	// Gamma is the size-penalty exponent; the authors recommend 1.5.
+	Gamma float64
+	// Balance controls the α scaling; 1.0 reproduces the paper's
+	// α = √k·m / n^γ.
+	Balance float64
+}
+
+var _ Partitioner = Fennel{}
+
+// Partition implements Partitioner.
+func (f Fennel) Partition(c *graph.CSR, k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: fennel: k must be >= 1, got %d", k)
+	}
+	gamma := f.Gamma
+	if gamma <= 1 {
+		gamma = 1.5
+	}
+	bal := f.Balance
+	if bal <= 0 {
+		bal = 1
+	}
+	n := c.N()
+	if n == 0 {
+		return nil, nil
+	}
+	m := float64(c.NumEdges)
+	alpha := bal * math.Sqrt(float64(k)) * m / math.Pow(float64(n), gamma)
+
+	parts := make([]int, n)
+	sizes := make([]float64, k)
+	attract := make([]float64, k)
+	// Hard cap prevents degenerate pile-ups on adversarial streams.
+	capacity := 1.2 * float64(n) / float64(k)
+
+	for v := int32(0); int(v) < n; v++ {
+		for i := range attract {
+			attract[i] = 0
+		}
+		adj, w := c.Row(v)
+		for p, u := range adj {
+			if u < v {
+				attract[parts[u]] += float64(w[p])
+			}
+		}
+		best, bestScore := -1, math.Inf(-1)
+		for s := 0; s < k; s++ {
+			if sizes[s] >= capacity {
+				continue
+			}
+			// Marginal Fennel objective: neighbours gained minus the
+			// marginal size penalty α·γ·|S|^(γ−1).
+			score := attract[s] - alpha*gamma*math.Pow(sizes[s], gamma-1)
+			if score > bestScore {
+				best, bestScore = s, score
+			}
+		}
+		if best < 0 { // every shard at cap (cannot happen with slack ≥ k/n)
+			best = minIndexF(sizes)
+		}
+		parts[v] = best
+		sizes[best]++
+	}
+	return parts, nil
+}
+
+func minIndexF(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

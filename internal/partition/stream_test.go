@@ -1,0 +1,133 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ethpart/internal/graph"
+	"ethpart/internal/metrics"
+)
+
+func TestLDGValidAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := clusteredCSR(rng, 40)
+	for _, k := range []int{2, 4, 8} {
+		parts, err := LDG{}.Partition(c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateParts(parts, k); err != nil {
+			t.Fatal(err)
+		}
+		bal := metrics.BalanceParts(c, parts, k, false)
+		if bal > 1.35 {
+			t.Errorf("k=%d LDG balance = %.3f, want <= 1.35", k, bal)
+		}
+	}
+}
+
+func TestFennelValidAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := clusteredCSR(rng, 40)
+	for _, k := range []int{2, 4, 8} {
+		parts, err := Fennel{}.Partition(c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateParts(parts, k); err != nil {
+			t.Fatal(err)
+		}
+		bal := metrics.BalanceParts(c, parts, k, false)
+		if bal > 1.35 {
+			t.Errorf("k=%d Fennel balance = %.3f, want <= 1.35", k, bal)
+		}
+	}
+}
+
+func TestStreamingBeatsHashOnClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := clusteredCSR(rng, 50)
+	hashParts, err := Hash{}.Partition(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashCut := metrics.EdgeCutParts(c, hashParts, true)
+	for _, p := range []struct {
+		name string
+		part Partitioner
+	}{{"ldg", LDG{}}, {"fennel", Fennel{}}} {
+		parts, err := p.part.Partition(c, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := metrics.EdgeCutParts(c, parts, true)
+		if cut >= hashCut {
+			t.Errorf("%s cut %.3f not below hash %.3f", p.name, cut, hashCut)
+		}
+	}
+}
+
+func TestStreamingRejectBadK(t *testing.T) {
+	c := graph.NewCSR(graph.New())
+	if _, err := (LDG{}).Partition(c, 0); err == nil {
+		t.Error("LDG k=0 must error")
+	}
+	if _, err := (Fennel{}).Partition(c, 0); err == nil {
+		t.Error("Fennel k=0 must error")
+	}
+}
+
+func TestStreamingEmptyGraph(t *testing.T) {
+	c := graph.NewCSR(graph.New())
+	if parts, err := (LDG{}).Partition(c, 3); err != nil || len(parts) != 0 {
+		t.Errorf("LDG empty: %v %v", parts, err)
+	}
+	if parts, err := (Fennel{}).Partition(c, 3); err != nil || len(parts) != 0 {
+		t.Errorf("Fennel empty: %v %v", parts, err)
+	}
+}
+
+func TestPropertyStreamingValidAndCapped(t *testing.T) {
+	// Property: one-pass partitions are always legal and respect their
+	// size caps on arbitrary graphs.
+	f := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 2
+		m := int(mRaw%200) + 1
+		k := int(kRaw%6) + 1
+		g := graph.New()
+		for i := 0; i < m; i++ {
+			u := graph.VertexID(rng.Intn(n))
+			v := graph.VertexID(rng.Intn(n))
+			if err := g.AddInteraction(u, v, graph.KindAccount, graph.KindAccount, int64(1+rng.Intn(4))); err != nil {
+				return false
+			}
+		}
+		c := graph.NewCSR(g)
+		for _, p := range []Partitioner{LDG{}, Fennel{}} {
+			parts, err := p.Partition(c, k)
+			if err != nil || len(parts) != c.N() {
+				return false
+			}
+			counts := make([]int, k)
+			for _, s := range parts {
+				if s < 0 || s >= k {
+					return false
+				}
+				counts[s]++
+			}
+			// Cap: 1.2–1.3× ideal plus one (rounding).
+			limit := int(1.35*float64(c.N())/float64(k)) + 1
+			for _, cnt := range counts {
+				if cnt > limit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

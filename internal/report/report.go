@@ -1,0 +1,211 @@
+// Package report renders experiment output: aligned ASCII tables, CSV
+// emission, unicode sparklines for time series (Figs. 1 and 3) and ASCII
+// box plots (Fig. 4). Every figure command in cmd/experiments prints both a
+// human-readable rendering and machine-readable CSV.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"ethpart/internal/stats"
+)
+
+// Table writes an aligned ASCII table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return sb.String()
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return fmt.Errorf("report: writing table: %w", err)
+	}
+	var total int
+	for _, width := range widths {
+		total += width + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return fmt.Errorf("report: writing table: %w", err)
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return fmt.Errorf("report: writing table: %w", err)
+		}
+	}
+	return nil
+}
+
+// CSV writes headers and rows as CSV.
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return fmt.Errorf("report: writing CSV: %w", err)
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: writing CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// sparkGlyphs are the eight block heights of a sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact unicode strip, mapping the value
+// range onto eight block heights. NaN values render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			sb.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkGlyphs)-1))
+		}
+		sb.WriteRune(sparkGlyphs[idx])
+	}
+	return sb.String()
+}
+
+// SparklineLog renders a sparkline of log10(values); zeros and negatives
+// clamp to the smallest positive value. Used for Fig. 1's log-scale counts.
+func SparklineLog(values []float64) string {
+	minPos := math.Inf(1)
+	for _, v := range values {
+		if v > 0 {
+			minPos = math.Min(minPos, v)
+		}
+	}
+	if math.IsInf(minPos, 1) {
+		return Sparkline(values)
+	}
+	logs := make([]float64, len(values))
+	for i, v := range values {
+		if v < minPos {
+			v = minPos
+		}
+		logs[i] = math.Log10(v)
+	}
+	return Sparkline(logs)
+}
+
+// BoxPlot renders a five-number summary as a one-line ASCII box plot spanning
+// [lo, hi] over `width` characters:
+//
+//	|----[==M==]------|
+func BoxPlot(s stats.Summary, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	pos := func(v float64) int {
+		p := int((v - lo) / span * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for i := pos(s.Min); i <= pos(s.Max); i++ {
+		row[i] = '-'
+	}
+	for i := pos(s.Q1); i <= pos(s.Q3); i++ {
+		row[i] = '='
+	}
+	row[pos(s.Min)] = '|'
+	row[pos(s.Max)] = '|'
+	if q1 := pos(s.Q1); row[q1] == '=' {
+		row[q1] = '['
+	}
+	if q3 := pos(s.Q3); row[q3] == '=' || row[q3] == '[' {
+		row[q3] = ']'
+	}
+	row[pos(s.Median)] = 'M'
+	return string(row)
+}
+
+// FormatFloat renders a float with sensible precision for tables.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// FormatCount renders large counts with thousands separators.
+func FormatCount(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var sb strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		sb.WriteString(s[:lead])
+		if len(s) > lead {
+			sb.WriteByte(',')
+		}
+	}
+	for i := lead; i < len(s); i += 3 {
+		sb.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			sb.WriteByte(',')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ethpart/internal/stats"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	var sb strings.Builder
+	err := Table(&sb, []string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "name ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[3], "22") {
+		t.Errorf("rows = %q", lines[2:])
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "x,y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,\"x,y\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	runes := []rune(s)
+	if len(runes) != 4 {
+		t.Fatalf("length = %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline must be empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+	withNaN := Sparkline([]float64{1, math.NaN(), 2})
+	if []rune(withNaN)[1] != ' ' {
+		t.Errorf("NaN must render as space: %q", withNaN)
+	}
+}
+
+func TestSparklineLog(t *testing.T) {
+	// Exponential data looks linear in log space: the log sparkline of
+	// powers of 10 should use evenly increasing glyph heights.
+	s := SparklineLog([]float64{1, 10, 100, 1000})
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Errorf("log sparkline = %q", s)
+	}
+	// All-zero input must not panic.
+	if got := SparklineLog([]float64{0, 0}); len([]rune(got)) != 2 {
+		t.Errorf("zeros = %q", got)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	s := stats.Summarize([]float64{1, 2, 3, 4, 5})
+	plot := BoxPlot(s, 0, 6, 40)
+	if len(plot) != 40 {
+		t.Fatalf("width = %d", len(plot))
+	}
+	if !strings.Contains(plot, "M") {
+		t.Errorf("no median mark: %q", plot)
+	}
+	if !strings.Contains(plot, "|") || !strings.Contains(plot, "=") {
+		t.Errorf("missing whiskers or box: %q", plot)
+	}
+	// Median must sit mid-plot for a symmetric sample on a centred range.
+	idx := strings.Index(plot, "M")
+	if idx < 15 || idx > 25 {
+		t.Errorf("median at %d in width-40 plot: %q", idx, plot)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{0.5, "0.500"},
+		{1234.5, "1.23e+03"},
+		{0.0001, "0.0001"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.v); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{1234567, "1,234,567"},
+		{12345, "12,345"},
+	}
+	for _, tt := range tests {
+		if got := FormatCount(tt.n); got != tt.want {
+			t.Errorf("FormatCount(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package shardchain is a running sharded blockchain: k independent chains
+// (one per shard), an account→shard assignment, and a router that executes
+// every transaction under one of the two multi-shard handling classes the
+// paper's introduction identifies:
+//
+//   - ModelReceipts (coordinated-style): a transaction executes on its
+//     target's home shard; calls and transfers that reach accounts on other
+//     shards become cross-shard receipts, settled asynchronously in the
+//     destination shard's next block — the design family of Spanner-style
+//     coordination adapted to blockchains (and of Eth2's receipt drafts);
+//   - ModelMigration (state-movement): before executing, every remote
+//     participant's account state is migrated to the executing shard and
+//     the assignment is updated, after which the transaction runs locally —
+//     the dynamic-SMR family.
+//
+// The paper explicitly does not build this layer ("It is not our goal to
+// propose mechanisms for Ethereum to handle multi-shard transactions");
+// this package exists so that the study's central quantity — the edge-cut —
+// can be observed as what it really is operationally: cross-shard messages,
+// settlement latency and migrated state.
+package shardchain
+
+import (
+	"fmt"
+
+	"ethpart/internal/chain"
+	"ethpart/internal/evm"
+	"ethpart/internal/types"
+)
+
+// Model selects the multi-shard transaction handling class.
+type Model int
+
+const (
+	// ModelReceipts settles cross-shard effects asynchronously.
+	ModelReceipts Model = iota + 1
+	// ModelMigration moves state to the executing shard first.
+	ModelMigration
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case ModelReceipts:
+		return "receipts"
+	case ModelMigration:
+		return "migration"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Receipt is a pending cross-shard effect: value (and optionally a call)
+// heading for an account on another shard.
+type Receipt struct {
+	From  types.Address
+	To    types.Address
+	Value evm.Word
+	Input []byte
+	// Born is the block height (of the source shard) that emitted the
+	// receipt; settlement latency is measured against it.
+	Born uint64
+}
+
+// Stats counts the operational cost of a run.
+type Stats struct {
+	// Transactions executed, split by locality.
+	LocalTxs, CrossTxs int64
+	// Messages is the number of cross-shard messages sent (receipts and
+	// migration transfers).
+	Messages int64
+	// ReceiptsSettled counts settled receipts; SettlementBlocks sums the
+	// block-latency of each (settled - born), so the mean settlement
+	// latency is SettlementBlocks/ReceiptsSettled.
+	ReceiptsSettled  int64
+	SettlementBlocks int64
+	// Migrations counts account moves; MigratedSlots the storage moved.
+	Migrations    int64
+	MigratedSlots int64
+	// Failed counts transactions rejected by validation.
+	Failed int64
+}
+
+// Config parameterises the sharded chain.
+type Config struct {
+	K     int
+	Model Model
+	// Chain configures every per-shard chain.
+	Chain chain.Config
+}
+
+// ShardChain is the sharded execution engine.
+//
+// ShardChain is not safe for concurrent use.
+type ShardChain struct {
+	cfg    Config
+	shards []*shard
+	// home maps every known account to its shard.
+	home map[types.Address]int
+	// assign supplies the partition for first-seen accounts; accounts it
+	// does not know fall back to hash placement.
+	assign func(types.Address) (int, bool)
+	stats  Stats
+	// clock is the global block height (all shards advance in lockstep,
+	// one block per Step).
+	clock uint64
+}
+
+// shard is one member chain plus its receipt inbox.
+type shard struct {
+	state *chain.State
+	inbox []Receipt
+	// outbox accumulates receipts emitted while executing the current
+	// block, delivered to peers at the end of Step.
+	outbox map[int][]Receipt
+}
+
+// New builds a sharded chain with k shards under the given model. The
+// genesis allocation is placed on the owner accounts' home shards, which
+// are derived from the provided assignment (nil entries fall back to a
+// hash of the address).
+func New(cfg Config, alloc map[types.Address]evm.Word, assign func(types.Address) (int, bool)) (*ShardChain, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("shardchain: k must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Model != ModelReceipts && cfg.Model != ModelMigration {
+		return nil, fmt.Errorf("shardchain: invalid model %d", cfg.Model)
+	}
+	sc := &ShardChain{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.K),
+		home:   make(map[types.Address]int),
+		assign: assign,
+	}
+	for i := range sc.shards {
+		sc.shards[i] = &shard{
+			state:  chain.NewState(),
+			outbox: make(map[int][]Receipt),
+		}
+	}
+	for addr, bal := range alloc {
+		s := sc.HomeOf(addr)
+		sc.shards[s].state.AddBalance(addr, bal)
+		sc.shards[s].state.DiscardJournal()
+	}
+	return sc, nil
+}
+
+// HomeOf returns the current home shard of addr, assigning one on first
+// sight: the configured partition decides when it knows the address,
+// otherwise placement falls back to a hash of the address.
+func (sc *ShardChain) HomeOf(addr types.Address) int {
+	if s, ok := sc.home[addr]; ok {
+		return s
+	}
+	s := -1
+	if sc.assign != nil {
+		if a, ok := sc.assign(addr); ok && a >= 0 && a < sc.cfg.K {
+			s = a
+		}
+	}
+	if s < 0 {
+		s = hashShard(addr, sc.cfg.K)
+	}
+	sc.home[addr] = s
+	return s
+}
+
+// Stats returns the accumulated operational counters.
+func (sc *ShardChain) Stats() Stats { return sc.stats }
+
+// StateOf exposes a shard's state for inspection.
+func (sc *ShardChain) StateOf(shard int) *chain.State { return sc.shards[shard].state }
+
+// BalanceOf returns addr's balance on its home shard.
+func (sc *ShardChain) BalanceOf(addr types.Address) evm.Word {
+	return sc.shards[sc.HomeOf(addr)].state.GetBalance(addr)
+}
+
+// hashShard is the fallback placement.
+func hashShard(addr types.Address, k int) int {
+	var h uint32 = 2166136261
+	for _, b := range addr {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return int(h % uint32(k))
+}
+
+// Step executes one global block: it settles every shard's pending inbox,
+// executes the given transactions, and delivers newly emitted receipts.
+// Transactions execute on the home shard of their target (creation
+// transactions on the sender's shard).
+func (sc *ShardChain) Step(txs []*chain.Transaction) []*chain.Receipt {
+	sc.clock++
+	// Phase 1: settle inboxes (receipts emitted in earlier blocks).
+	for i, sh := range sc.shards {
+		inbox := sh.inbox
+		sh.inbox = nil
+		for _, r := range inbox {
+			sc.settle(i, r)
+		}
+	}
+	// Phase 2: execute this block's transactions.
+	var receipts []*chain.Receipt
+	for _, tx := range txs {
+		receipts = append(receipts, sc.execute(tx))
+	}
+	// Phase 3: deliver outboxes.
+	for _, sh := range sc.shards {
+		for dst, rs := range sh.outbox {
+			sc.shards[dst].inbox = append(sc.shards[dst].inbox, rs...)
+			delete(sh.outbox, dst)
+		}
+	}
+	return receipts
+}
+
+// settle applies one receipt on its destination shard.
+func (sc *ShardChain) settle(shardIdx int, r Receipt) {
+	st := sc.shards[shardIdx].state
+	st.AddBalance(r.To, r.Value)
+	st.DiscardJournal()
+	sc.stats.ReceiptsSettled++
+	sc.stats.SettlementBlocks += int64(sc.clock - r.Born)
+	// A receipt carrying input against a contract triggers its code —
+	// the "continuation" of the cross-shard call.
+	if code := st.GetCode(r.To); len(code) > 0 {
+		vm := evm.New(st)
+		vm.SetRemoteHook(sc.hookFor(shardIdx))
+		// Continuation gas is bounded; failures are absorbed (the value
+		// has already moved, as in asynchronous designs).
+		_, _, _ = vm.Call(r.From, r.To, evm.Word{}, r.Input, 2_000_000)
+		st.DiscardJournal()
+	}
+}
+
+// hookFor returns the RemoteHook that diverts calls leaving shardIdx into
+// receipts.
+func (sc *ShardChain) hookFor(shardIdx int) evm.RemoteHook {
+	return func(from, to types.Address, value evm.Word, input []byte) bool {
+		dst := sc.HomeOf(to)
+		if dst == shardIdx {
+			return false // local: execute normally
+		}
+		sh := sc.shards[shardIdx]
+		sh.outbox[dst] = append(sh.outbox[dst], Receipt{
+			From: from, To: to, Value: value,
+			Input: append([]byte(nil), input...),
+			Born:  sc.clock,
+		})
+		sc.stats.Messages++
+		return true
+	}
+}
+
+// execute runs one transaction under the configured model.
+func (sc *ShardChain) execute(tx *chain.Transaction) *chain.Receipt {
+	// The executing shard: the target's home (sender's home for creates).
+	var execShard int
+	if tx.IsCreate() {
+		execShard = sc.HomeOf(tx.From)
+	} else {
+		execShard = sc.HomeOf(*tx.To)
+	}
+	senderShard := sc.HomeOf(tx.From)
+	cross := senderShard != execShard
+
+	switch sc.cfg.Model {
+	case ModelMigration:
+		if cross {
+			// Move the sender's account to the executing shard, then run
+			// locally.
+			sc.migrate(tx.From, senderShard, execShard)
+			cross = false
+		}
+	case ModelReceipts:
+		if cross {
+			// The sender's shard debits and emits a receipt carrying the
+			// value and calldata; the target shard executes on settlement.
+			st := sc.shards[senderShard].state
+			total := tx.Value.Add(evm.WordFromUint64(tx.GasLimit * tx.GasPrice))
+			if st.GetBalance(tx.From).Cmp(total) < 0 || st.GetNonce(tx.From) != tx.Nonce {
+				sc.stats.Failed++
+				return &chain.Receipt{TxHash: tx.Hash(), Success: false,
+					Err: chain.ErrInsufficientFunds}
+			}
+			st.SubBalance(tx.From, tx.Value)
+			st.SetNonce(tx.From, tx.Nonce+1)
+			st.DiscardJournal()
+			sh := sc.shards[senderShard]
+			sh.outbox[execShard] = append(sh.outbox[execShard], Receipt{
+				From: tx.From, To: *tx.To, Value: tx.Value,
+				Input: append([]byte(nil), tx.Data...),
+				Born:  sc.clock,
+			})
+			sc.stats.Messages++
+			sc.stats.CrossTxs++
+			return &chain.Receipt{TxHash: tx.Hash(), Success: true}
+		}
+	}
+
+	// Local execution on execShard with the cross-shard hook armed for
+	// internal calls that leave the shard.
+	st := sc.shards[execShard].state
+	receipt, err := applyWithHook(st, tx, sc.hookFor(execShard))
+	if err != nil {
+		sc.stats.Failed++
+		return &chain.Receipt{TxHash: tx.Hash(), Success: false, Err: err}
+	}
+	if cross {
+		sc.stats.CrossTxs++
+	} else {
+		sc.stats.LocalTxs++
+	}
+	return receipt
+}
+
+// migrate moves an account's full state between shards and re-homes it.
+func (sc *ShardChain) migrate(addr types.Address, from, to int) {
+	src := sc.shards[from].state
+	dst := sc.shards[to].state
+
+	dst.CreateAccount(addr)
+	dst.AddBalance(addr, src.GetBalance(addr))
+	dst.SetNonce(addr, src.GetNonce(addr))
+	if code := src.GetCode(addr); len(code) > 0 {
+		dst.SetCode(addr, append([]byte(nil), code...))
+	}
+	slots := chain.CopyStorage(src, dst, addr)
+	src.SubBalance(addr, src.GetBalance(addr))
+	src.DiscardJournal()
+	dst.DiscardJournal()
+
+	sc.home[addr] = to
+	sc.stats.Migrations++
+	sc.stats.MigratedSlots += int64(slots)
+	sc.stats.Messages++ // the state transfer itself
+}
+
+// applyWithHook is chain.ApplyTransaction with a remote hook installed.
+// The miner fee plumbing is omitted: shardchain measures message and
+// migration costs, not fee flows.
+func applyWithHook(st *chain.State, tx *chain.Transaction, hook evm.RemoteHook) (*chain.Receipt, error) {
+	return chain.ApplyTransactionHooked(st, tx, types.Address{}, hook)
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+
+	"ethpart/internal/graph"
+	"ethpart/internal/trace"
+	"ethpart/internal/types"
+	"ethpart/internal/workload"
+)
+
+// GeneratedTrace is a fully materialised synthetic history: the record
+// stream plus the lookups simulators need.
+type GeneratedTrace struct {
+	Records  []trace.Record
+	Registry *trace.Registry
+	Stats    workload.Stats
+	// storageSlots maps vertex IDs to final storage footprints.
+	storageSlots map[graph.VertexID]int
+}
+
+// StorageSlots reports the storage footprint of vertex v at the end of the
+// history (an upper bound for mid-history moves, which is the conservative
+// direction for the paper's "moving a contract moves its storage" point).
+func (g *GeneratedTrace) StorageSlots(v graph.VertexID) int {
+	return g.storageSlots[v]
+}
+
+// Generate runs the workload generator to completion and materialises the
+// record stream. Generating once and replaying under many method
+// configurations keeps method comparisons on identical histories.
+func Generate(cfg workload.Config) (*GeneratedTrace, error) {
+	gen, err := workload.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building generator: %w", err)
+	}
+	reg := trace.NewRegistry()
+	st := gen.Chain().State()
+	isContract := func(a types.Address) bool { return len(st.GetCode(a)) > 0 }
+
+	var records []trace.Record
+	for {
+		block, receipts, ok, err := gen.NextBlock()
+		if err != nil {
+			return nil, fmt.Errorf("sim: generating block: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if block == nil {
+			continue
+		}
+		records = append(records, trace.FromReceipts(
+			block.Header.Number, block.Header.Time, receipts, reg, isContract)...)
+	}
+
+	slots := make(map[graph.VertexID]int)
+	for id := uint64(0); id < uint64(reg.Len()); id++ {
+		if !reg.IsContract(id) {
+			continue
+		}
+		if addr, ok := reg.Address(id); ok {
+			if n := st.StorageSize(addr); n > 0 {
+				slots[graph.VertexID(id)] = n
+			}
+		}
+	}
+	return &GeneratedTrace{
+		Records:      records,
+		Registry:     reg,
+		Stats:        gen.Stats(),
+		storageSlots: slots,
+	}, nil
+}
+
+// Replay runs one simulation configuration over a generated trace.
+func Replay(gt *GeneratedTrace, cfg Config) (*Result, error) {
+	if cfg.StorageSlots == nil {
+		cfg.StorageSlots = gt.StorageSlots
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range gt.Records {
+		if err := s.Process(rec); err != nil {
+			return nil, fmt.Errorf("sim: processing record: %w", err)
+		}
+	}
+	return s.Finish(), nil
+}

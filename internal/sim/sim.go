@@ -1,0 +1,533 @@
+// Package sim implements the sharding simulator: it replays a stream of
+// interaction records, maintains the cumulative blockchain graph and a
+// shard assignment, places newly appearing vertices, fires the method's
+// repartitioning policy (none, periodic or threshold-triggered) and
+// accumulates the paper's metrics in four-hour windows — the measurement
+// granularity of Fig. 3.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"ethpart/internal/graph"
+	"ethpart/internal/metrics"
+	"ethpart/internal/partition"
+	"ethpart/internal/partition/multilevel"
+	"ethpart/internal/trace"
+)
+
+// Method selects one of the paper's five partitioning methods.
+type Method int
+
+// The five methods of §II-C.
+const (
+	MethodHash Method = iota + 1
+	MethodKL
+	MethodMetis
+	MethodRMetis
+	MethodTRMetis
+)
+
+// String implements fmt.Stringer with the paper's labels.
+func (m Method) String() string {
+	switch m {
+	case MethodHash:
+		return "HASH"
+	case MethodKL:
+		return "KL"
+	case MethodMetis:
+		return "METIS"
+	case MethodRMetis:
+		return "R-METIS"
+	case MethodTRMetis:
+		return "TR-METIS"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod maps a case-sensitive method label to its Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "hash", "HASH":
+		return MethodHash, nil
+	case "kl", "KL":
+		return MethodKL, nil
+	case "metis", "METIS":
+		return MethodMetis, nil
+	case "rmetis", "r-metis", "R-METIS", "P-METIS", "pmetis":
+		return MethodRMetis, nil
+	case "trmetis", "tr-metis", "TR-METIS":
+		return MethodTRMetis, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown method %q", s)
+	}
+}
+
+// Methods lists all five methods in the paper's order.
+func Methods() []Method {
+	return []Method{MethodHash, MethodKL, MethodMetis, MethodRMetis, MethodTRMetis}
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	Method Method
+	// K is the number of shards.
+	K int
+	// Window is the metric-accumulation window; the paper uses four hours.
+	Window time.Duration
+	// RepartitionEvery is the period of the periodic methods (KL, METIS,
+	// R-METIS); the paper uses two weeks.
+	RepartitionEvery time.Duration
+	// CutThreshold and BalanceThreshold trigger TR-METIS: a repartition
+	// fires when a window's dynamic edge-cut exceeds CutThreshold or its
+	// dynamic balance exceeds BalanceThreshold.
+	CutThreshold     float64
+	BalanceThreshold float64
+	// MinRepartitionGap bounds how often TR-METIS may fire.
+	MinRepartitionGap time.Duration
+	// TriggerWindows is the number of consecutive over-threshold windows
+	// TR-METIS requires before firing, filtering out single noisy windows
+	// (a 4-hour window with few transactions has a wild balance reading).
+	TriggerWindows int
+	// Multilevel configures the METIS-substitute partitioner.
+	Multilevel multilevel.Config
+	// KL configures the Kernighan–Lin refiner.
+	KL partition.KLConfig
+	// StorageSlots, when non-nil, reports a vertex's storage footprint so
+	// moves can be weighed in relocated state, not just vertex count.
+	StorageSlots func(graph.VertexID) int
+	// HashPlacement forces hash placement of newly appearing vertices for
+	// every method, replacing the paper's min-cut/tie-balance rule. Used
+	// only by the placement ablation bench.
+	HashPlacement bool
+}
+
+// withDefaults fills zero fields with the paper's parameters.
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 2
+	}
+	if c.Window <= 0 {
+		c.Window = 4 * time.Hour
+	}
+	if c.RepartitionEvery <= 0 {
+		c.RepartitionEvery = 14 * 24 * time.Hour
+	}
+	if c.CutThreshold <= 0 {
+		// The hashing baseline cuts (k-1)/k of the edges; a threshold a
+		// little below that fires only when the partition has degraded
+		// toward "as bad as hashing". The paper tunes thresholds so
+		// TR-METIS tracks R-METIS quality with far fewer repartitions.
+		c.CutThreshold = 0.9 * float64(c.K-1) / float64(c.K)
+	}
+	if c.BalanceThreshold <= 0 {
+		c.BalanceThreshold = 1.0 + 0.4*float64(c.K-1)
+	}
+	if c.MinRepartitionGap <= 0 {
+		c.MinRepartitionGap = 3 * 24 * time.Hour
+	}
+	if c.TriggerWindows <= 0 {
+		c.TriggerWindows = 6 // one day of sustained degradation
+	}
+	return c
+}
+
+// WindowStat is one data point of Fig. 3: metrics for a four-hour window.
+type WindowStat struct {
+	Start time.Time
+	// DynamicCut is the cross-shard fraction of the interaction weight
+	// executed in this window — the "executed cross-shard transactions".
+	DynamicCut float64
+	// DynamicBalance is Eq. 2 over the activity each shard served in this
+	// window.
+	DynamicBalance float64
+	// StaticCut is Eq. 1 over the cumulative graph at window end.
+	StaticCut float64
+	// StaticBalance is Eq. 2 over vertex counts at window end.
+	StaticBalance float64
+	// Moves is the number of vertices that changed shard in this window.
+	Moves int64
+	// MovedSlots is the storage relocated by those moves, in slots.
+	MovedSlots int64
+	// Repartitioned marks windows in which the policy fired.
+	Repartitioned bool
+	// Interactions is the window's interaction count.
+	Interactions int64
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Method  Method
+	K       int
+	Windows []WindowStat
+	// TotalMoves counts every vertex-shard change over the run.
+	TotalMoves int64
+	// TotalMovedSlots is the total storage relocated.
+	TotalMovedSlots int64
+	// Repartitions counts policy firings.
+	Repartitions int
+	// OverallDynamicCut is the cross-shard fraction of all executed
+	// interaction weight over the whole run (Fig. 5's dynamic edge-cut).
+	OverallDynamicCut float64
+	// OverallDynamicBalance is Eq. 2 over the total activity each shard
+	// served across the run (Fig. 5's dynamic balance).
+	OverallDynamicBalance float64
+	// FinalStaticCut and FinalStaticBalance are Eq. 1/2 on the final graph.
+	FinalStaticCut     float64
+	FinalStaticBalance float64
+	// Vertices and Edges describe the final graph.
+	Vertices, Edges int
+}
+
+// Simulator replays interaction records under one method configuration.
+// Feed it records in time order via Process, then call Finish.
+//
+// Simulator is not safe for concurrent use.
+type Simulator struct {
+	cfg Config
+
+	full   *graph.Graph // cumulative graph
+	window *graph.Graph // graph of interactions since the last repartition
+	assign *partition.Assignment
+
+	hash partition.Hash
+	ml   *multilevel.Partitioner
+	kl   *partition.KL
+
+	// Incrementally maintained cumulative cut state.
+	cutEdges, totalEdges   int64
+	cutWeight, totalWeight int64
+
+	// Current window accumulation.
+	winStart    time.Time
+	winLoad     []int64
+	winCutW     int64
+	winTotalW   int64
+	winCount    int64
+	winMoves    int64
+	winSlots    int64
+	winReparted bool
+
+	// Whole-run accounting for Fig. 5: per-shard served load and the
+	// cross-shard fraction of executed interactions (evaluated at
+	// execution time, like a real sharded system would experience it).
+	runLoad          []int64
+	runCutW, runTotW int64
+
+	lastRepart time.Time
+	started    bool
+	// badWindows counts consecutive over-threshold windows (TR-METIS).
+	badWindows int
+
+	result Result
+}
+
+// New returns a simulator for cfg.
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Method < MethodHash || cfg.Method > MethodTRMetis {
+		return nil, fmt.Errorf("sim: invalid method %d", cfg.Method)
+	}
+	assign, err := partition.NewAssignment(cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:     cfg,
+		full:    graph.New(),
+		window:  graph.New(),
+		assign:  assign,
+		ml:      multilevel.New(cfg.Multilevel),
+		kl:      partition.NewKL(cfg.KL),
+		winLoad: make([]int64, cfg.K),
+		runLoad: make([]int64, cfg.K),
+		result:  Result{Method: cfg.Method, K: cfg.K},
+	}, nil
+}
+
+// Assignment exposes the live assignment (read-only use).
+func (s *Simulator) Assignment() *partition.Assignment { return s.assign }
+
+// Graph exposes the cumulative graph (read-only use).
+func (s *Simulator) Graph() *graph.Graph { return s.full }
+
+// Process consumes one interaction record. Records must arrive in
+// non-decreasing time order.
+func (s *Simulator) Process(rec trace.Record) error {
+	t := time.Unix(rec.Time, 0).UTC()
+	if !s.started {
+		s.winStart = t.Truncate(s.cfg.Window)
+		s.lastRepart = t
+		s.started = true
+	}
+	// Window roll-over (possibly across several empty windows).
+	for t.Sub(s.winStart) >= s.cfg.Window {
+		s.flushWindow()
+		s.winStart = s.winStart.Add(s.cfg.Window)
+		// Threshold policy is evaluated at window boundaries; periodic
+		// policies by elapsed time.
+		if err := s.maybeRepartition(s.winStart); err != nil {
+			return err
+		}
+	}
+
+	u := graph.VertexID(rec.From)
+	v := graph.VertexID(rec.To)
+	newEdge := u != v && s.full.EdgeWeight(u, v) == 0
+
+	if err := rec.Apply(s.full); err != nil {
+		return err
+	}
+	if s.cfg.Method == MethodRMetis || s.cfg.Method == MethodTRMetis || s.cfg.Method == MethodKL {
+		if err := rec.Apply(s.window); err != nil {
+			return err
+		}
+	}
+
+	// Place endpoints that are new to the assignment.
+	su, err := s.placeIfNew(u)
+	if err != nil {
+		return err
+	}
+	sv, err := s.placeIfNew(v)
+	if err != nil {
+		return err
+	}
+
+	// Update cumulative cut state.
+	cross := su != sv && u != v
+	if newEdge {
+		s.totalEdges++
+		if cross {
+			s.cutEdges++
+		}
+	}
+	if u != v {
+		s.totalWeight++
+		if cross {
+			s.cutWeight++
+		}
+	}
+
+	// Window accumulation: each interaction is one unit of load on each
+	// endpoint's shard; cross-shard interactions count against the cut.
+	s.winCount++
+	s.winLoad[su]++
+	s.runLoad[su]++
+	if u != v {
+		s.winLoad[sv]++
+		s.runLoad[sv]++
+		s.winTotalW++
+		s.runTotW++
+		if cross {
+			s.winCutW++
+			s.runCutW++
+		}
+	}
+	return nil
+}
+
+// placeIfNew assigns a shard to v if it has none, per the method's rule,
+// and returns v's shard.
+func (s *Simulator) placeIfNew(v graph.VertexID) (int, error) {
+	if shard, ok := s.assign.ShardOf(v); ok {
+		return shard, nil
+	}
+	var shard int
+	if s.cfg.Method == MethodHash || s.cfg.HashPlacement {
+		shard = s.hash.ShardOf(v, s.cfg.K)
+	} else {
+		shard = partition.PlaceVertex(s.full, s.assign, v)
+	}
+	if _, _, err := s.assign.Assign(v, shard); err != nil {
+		return 0, err
+	}
+	return shard, nil
+}
+
+// flushWindow closes the current window into the result.
+func (s *Simulator) flushWindow() {
+	stat := WindowStat{
+		Start:          s.winStart,
+		DynamicBalance: metrics.LoadBalance(s.winLoad),
+		StaticBalance:  s.staticBalance(),
+		Moves:          s.winMoves,
+		MovedSlots:     s.winSlots,
+		Repartitioned:  s.winReparted,
+		Interactions:   s.winCount,
+	}
+	if s.winTotalW > 0 {
+		stat.DynamicCut = float64(s.winCutW) / float64(s.winTotalW)
+	}
+	if s.totalEdges > 0 {
+		stat.StaticCut = float64(s.cutEdges) / float64(s.totalEdges)
+	}
+	s.result.Windows = append(s.result.Windows, stat)
+
+	for i := range s.winLoad {
+		s.winLoad[i] = 0
+	}
+	s.winCutW, s.winTotalW, s.winCount = 0, 0, 0
+	s.winMoves, s.winSlots = 0, 0
+	s.winReparted = false
+}
+
+// staticBalance is Eq. 2 over assignment vertex counts.
+func (s *Simulator) staticBalance() float64 {
+	counts := s.assign.Counts()
+	loads := make([]int64, len(counts))
+	for i, c := range counts {
+		loads[i] = int64(c)
+	}
+	return metrics.LoadBalance(loads)
+}
+
+// maybeRepartition fires the method's policy at a window boundary.
+func (s *Simulator) maybeRepartition(now time.Time) error {
+	switch s.cfg.Method {
+	case MethodHash:
+		return nil
+	case MethodKL, MethodMetis, MethodRMetis:
+		if now.Sub(s.lastRepart) < s.cfg.RepartitionEvery {
+			return nil
+		}
+	case MethodTRMetis:
+		if len(s.result.Windows) == 0 {
+			return nil
+		}
+		last := s.result.Windows[len(s.result.Windows)-1]
+		bad := last.Interactions > 0 &&
+			(last.DynamicCut > s.cfg.CutThreshold || last.DynamicBalance > s.cfg.BalanceThreshold)
+		if bad {
+			s.badWindows++
+		} else {
+			s.badWindows = 0
+		}
+		if now.Sub(s.lastRepart) < s.cfg.MinRepartitionGap {
+			return nil
+		}
+		if s.badWindows < s.cfg.TriggerWindows {
+			return nil
+		}
+		s.badWindows = 0
+	}
+	return s.repartition(now)
+}
+
+// repartition runs the method's partitioner and applies the result.
+func (s *Simulator) repartition(now time.Time) error {
+	var moves int
+	switch s.cfg.Method {
+	case MethodKL:
+		// KL refines using the transactions of the period (window graph).
+		if s.window.VertexCount() == 0 {
+			break
+		}
+		csr := graph.NewCSR(s.window)
+		parts := s.assign.ToParts(csr)
+		// All window vertices were placed on first sight.
+		refined, err := s.kl.Refine(csr, s.cfg.K, parts)
+		if err != nil {
+			return fmt.Errorf("sim: KL refine: %w", err)
+		}
+		if moves, err = s.applyParts(csr, refined); err != nil {
+			return err
+		}
+	case MethodMetis:
+		// METIS repartitions the whole cumulative graph.
+		if s.full.VertexCount() == 0 {
+			break
+		}
+		csr := graph.NewCSR(s.full)
+		parts, err := s.ml.Partition(csr, s.cfg.K)
+		if err != nil {
+			return fmt.Errorf("sim: multilevel partition: %w", err)
+		}
+		if moves, err = s.applyParts(csr, parts); err != nil {
+			return err
+		}
+	case MethodRMetis, MethodTRMetis:
+		// Reduced graph: only the window since the last repartition.
+		if s.window.VertexCount() == 0 {
+			break
+		}
+		csr := graph.NewCSR(s.window)
+		parts, err := s.ml.Partition(csr, s.cfg.K)
+		if err != nil {
+			return fmt.Errorf("sim: multilevel partition (window): %w", err)
+		}
+		if moves, err = s.applyParts(csr, parts); err != nil {
+			return err
+		}
+	}
+	s.lastRepart = now
+	s.window = graph.New()
+	s.winReparted = true
+	s.winMoves += int64(moves)
+	s.result.TotalMoves += int64(moves)
+	s.result.Repartitions++
+	s.recomputeCut()
+	return nil
+}
+
+// applyParts applies a partitioner result, accounting moved storage.
+func (s *Simulator) applyParts(csr *graph.CSR, parts []int) (int, error) {
+	var slots int64
+	if s.cfg.StorageSlots != nil {
+		for i, id := range csr.IDs {
+			if old, ok := s.assign.ShardOf(id); ok && old != parts[i] {
+				slots += int64(s.cfg.StorageSlots(id))
+			}
+		}
+	}
+	moves, err := s.assign.Apply(csr, parts)
+	if err != nil {
+		return 0, fmt.Errorf("sim: applying partition: %w", err)
+	}
+	s.winSlots += slots
+	s.result.TotalMovedSlots += slots
+	return moves, nil
+}
+
+// recomputeCut rebuilds the cumulative cut counters after a repartition
+// (O(E), amortised over the two weeks between repartitions).
+func (s *Simulator) recomputeCut() {
+	var cutE, totE, cutW, totW int64
+	s.full.Edges(func(u, v graph.VertexID, w int64) bool {
+		su, ok1 := s.assign.ShardOf(u)
+		sv, ok2 := s.assign.ShardOf(v)
+		if !ok1 || !ok2 {
+			return true
+		}
+		totE++
+		totW += w
+		if su != sv {
+			cutE++
+			cutW += w
+		}
+		return true
+	})
+	s.cutEdges, s.totalEdges = cutE, totE
+	s.cutWeight, s.totalWeight = cutW, totW
+}
+
+// Finish flushes the open window and computes run-level metrics.
+func (s *Simulator) Finish() *Result {
+	if s.started {
+		s.flushWindow()
+	}
+	res := &s.result
+	res.OverallDynamicBalance = metrics.LoadBalance(s.runLoad)
+	if s.runTotW > 0 {
+		res.OverallDynamicCut = float64(s.runCutW) / float64(s.runTotW)
+	}
+	if s.totalEdges > 0 {
+		res.FinalStaticCut = float64(s.cutEdges) / float64(s.totalEdges)
+	}
+	res.FinalStaticBalance = s.staticBalance()
+	res.Vertices = s.full.VertexCount()
+	res.Edges = s.full.EdgeCount()
+	return res
+}

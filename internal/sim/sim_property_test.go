@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ethpart/internal/evm"
+	"ethpart/internal/graph"
+	"ethpart/internal/trace"
+)
+
+// randomRecords builds a time-ordered random interaction stream.
+func randomRecords(rng *rand.Rand, n, vertices int, span time.Duration) []trace.Record {
+	base := time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC).Unix()
+	step := int64(span.Seconds()) / int64(n+1)
+	if step < 1 {
+		step = 1
+	}
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		kind := evm.KindTransaction
+		if rng.Intn(4) == 0 {
+			kind = evm.KindCall
+		}
+		recs[i] = trace.Record{
+			Time: base + int64(i)*step,
+			Kind: kind,
+			From: uint64(rng.Intn(vertices)),
+			To:   uint64(rng.Intn(vertices)),
+		}
+	}
+	return recs
+}
+
+func TestPropertyWindowAccountingConsistent(t *testing.T) {
+	// Properties over random streams and methods:
+	//   1. sum of window interactions == number of records processed;
+	//   2. every window's dynamic cut is in [0,1] and balance in [1,k];
+	//   3. sum of window moves == TotalMoves;
+	//   4. vertices in the result equal the distinct endpoints.
+	f := func(seed int64, nRaw, vRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%200) + 20
+		vertices := int(vRaw%40) + 4
+		method := Methods()[int(mRaw)%len(Methods())]
+		k := []int{2, 3, 4, 8}[int(kRaw)%4]
+
+		s, err := New(Config{
+			Method: method, K: k,
+			Window:            2 * time.Hour,
+			RepartitionEvery:  24 * time.Hour,
+			MinRepartitionGap: 12 * time.Hour,
+			TriggerWindows:    2,
+		})
+		if err != nil {
+			return false
+		}
+		recs := randomRecords(rng, n, vertices, 4*24*time.Hour)
+		distinct := map[uint64]bool{}
+		for _, r := range recs {
+			if err := s.Process(r); err != nil {
+				return false
+			}
+			distinct[r.From] = true
+			distinct[r.To] = true
+		}
+		res := s.Finish()
+
+		var winSum, moveSum int64
+		for _, w := range res.Windows {
+			winSum += w.Interactions
+			moveSum += w.Moves
+			if w.DynamicCut < 0 || w.DynamicCut > 1 {
+				return false
+			}
+			if w.DynamicBalance < 1-1e-9 || w.DynamicBalance > float64(k)+1e-9 {
+				return false
+			}
+			if w.StaticBalance < 1-1e-9 || w.StaticBalance > float64(k)+1e-9 {
+				return false
+			}
+		}
+		if winSum != int64(n) {
+			return false
+		}
+		if moveSum != res.TotalMoves {
+			return false
+		}
+		return res.Vertices == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHashNeverMoves(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(Config{Method: MethodHash, K: 4})
+		if err != nil {
+			return false
+		}
+		for _, r := range randomRecords(rng, int(nRaw)+10, 20, 30*24*time.Hour) {
+			if err := s.Process(r); err != nil {
+				return false
+			}
+		}
+		res := s.Finish()
+		return res.TotalMoves == 0 && res.Repartitions == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAssignmentCoversAllVertices(t *testing.T) {
+	// After any run, every graph vertex has a shard and per-shard counts
+	// sum to the vertex count.
+	f := func(seed int64, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		method := Methods()[int(mRaw)%len(Methods())]
+		s, err := New(Config{Method: method, K: 3, RepartitionEvery: 24 * time.Hour})
+		if err != nil {
+			return false
+		}
+		for _, r := range randomRecords(rng, 150, 25, 3*24*time.Hour) {
+			if err := s.Process(r); err != nil {
+				return false
+			}
+		}
+		ok := true
+		s.Graph().Vertices(func(id graph.VertexID, _ graph.Kind, _ int64) bool {
+			if _, assigned := s.Assignment().ShardOf(id); !assigned {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		total := 0
+		for _, c := range s.Assignment().Counts() {
+			total += c
+		}
+		return total == s.Graph().VertexCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

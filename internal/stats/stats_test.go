@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("N = %d", s.N)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %v, %v", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Quantile(sorted, 0.5); got != 5 {
+		t.Errorf("median of {0,10} = %v, want 5", got)
+	}
+	if got := Quantile(sorted, 0); got != 0 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(sorted, 1); got != 10 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	pos, den := KDE(xs, 256)
+	if len(pos) != 256 || len(den) != 256 {
+		t.Fatalf("lengths = %d, %d", len(pos), len(den))
+	}
+	// Trapezoidal integral over the sampled span should be close to 1
+	// (mass outside [min,max] is small for a normal sample).
+	var integral float64
+	for i := 1; i < len(pos); i++ {
+		integral += (den[i] + den[i-1]) / 2 * (pos[i] - pos[i-1])
+	}
+	if integral < 0.9 || integral > 1.05 {
+		t.Errorf("KDE integral = %v, want ≈ 1", integral)
+	}
+	// Density must peak near 0 for a standard normal.
+	peak := 0
+	for i := range den {
+		if den[i] > den[peak] {
+			peak = i
+		}
+	}
+	if math.Abs(pos[peak]) > 0.5 {
+		t.Errorf("KDE peak at %v, want ≈ 0", pos[peak])
+	}
+}
+
+func TestKDEDegenerateSample(t *testing.T) {
+	pos, den := KDE([]float64{2, 2, 2}, 16)
+	if len(pos) != 16 {
+		t.Fatalf("positions = %d", len(pos))
+	}
+	for _, d := range den {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatal("degenerate KDE produced NaN/Inf")
+		}
+	}
+}
+
+func TestKDEEmpty(t *testing.T) {
+	pos, den := KDE(nil, 16)
+	if pos != nil || den != nil {
+		t.Error("empty KDE must return nil")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0, 0.1, 0.5, 0.9, 1.0}, 2)
+	if len(edges) != 2 || len(counts) != 2 {
+		t.Fatalf("lengths: %d, %d", len(edges), len(counts))
+	}
+	if counts[0]+counts[1] != 5 {
+		t.Errorf("total count = %d, want 5", counts[0]+counts[1])
+	}
+	// Half-open bins: [0, 0.5) and [0.5, 1.0]; 0.5 lands right.
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestLinearFitRecoversLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 + 3*x
+	}
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2) > 1e-9 || math.Abs(b-3) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("fit = %v + %v x, r2 = %v", a, b, r2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point must error")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate x must error")
+	}
+}
+
+func TestLogLinearFitRecoversExponential(t *testing.T) {
+	// y = 10 * e^(0.5 x)
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 10 * math.Exp(0.5*x)
+	}
+	a, b, r2, err := LogLinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.5) > 1e-9 || math.Abs(math.Exp(a)-10) > 1e-6 || r2 < 0.999 {
+		t.Errorf("log fit a=%v b=%v r2=%v", a, b, r2)
+	}
+}
+
+func TestLogLinearFitRejectsNonPositive(t *testing.T) {
+	if _, _, _, err := LogLinearFit([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Error("zero y must error")
+	}
+}
+
+func TestPropertySummaryOrdering(t *testing.T) {
+	// Property: min ≤ q1 ≤ median ≤ q3 ≤ max and min ≤ mean ≤ max.
+	// Inputs are clamped to a sane magnitude: the sum in the mean is
+	// allowed to overflow for inputs near ±MaxFloat64.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1Raw, q2Raw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		qa := float64(q1Raw) / 255
+		qb := float64(q2Raw) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoAlphaMLERecoversTailIndex(t *testing.T) {
+	// Sample from a Pareto(α=2, xmin=1) via inverse transform.
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		u := rng.Float64()
+		xs[i] = math.Pow(1-u, -1.0/2.0)
+	}
+	alpha, n, err := ParetoAlphaMLE(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(xs) {
+		t.Errorf("tail n = %d", n)
+	}
+	if math.Abs(alpha-2) > 0.1 {
+		t.Errorf("alpha = %v, want ≈ 2", alpha)
+	}
+}
+
+func TestParetoAlphaMLEErrors(t *testing.T) {
+	if _, _, err := ParetoAlphaMLE([]float64{1, 2}, 0); err == nil {
+		t.Error("xmin=0 must error")
+	}
+	if _, _, err := ParetoAlphaMLE([]float64{1, 2}, 100); err == nil {
+		t.Error("empty tail must error")
+	}
+	if alpha, _, err := ParetoAlphaMLE([]float64{3, 3, 3}, 3); err != nil || !math.IsInf(alpha, 1) {
+		t.Errorf("degenerate tail: alpha=%v err=%v", alpha, err)
+	}
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ethpart/internal/evm"
+)
+
+// csvHeader is the first row of the CSV dataset format.
+var csvHeader = []string{"block", "time", "kind", "from", "from_kind", "to", "to_kind", "value"}
+
+// kindLabel maps call kinds to the dataset's string labels.
+func kindLabel(k evm.CallKind) string {
+	switch k {
+	case evm.KindTransaction:
+		return "tx"
+	case evm.KindCall:
+		return "call"
+	case evm.KindCreate:
+		return "create"
+	default:
+		return "unknown"
+	}
+}
+
+// parseKind is the inverse of kindLabel.
+func parseKind(s string) (evm.CallKind, error) {
+	switch s {
+	case "tx":
+		return evm.KindTransaction, nil
+	case "call":
+		return evm.KindCall, nil
+	case "create":
+		return evm.KindCreate, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown interaction kind %q", s)
+	}
+}
+
+func vertexLabel(contract bool) string {
+	if contract {
+		return "contract"
+	}
+	return "account"
+}
+
+// CSVWriter streams records in the dataset's CSV format.
+type CSVWriter struct {
+	w           *csv.Writer
+	wroteHeader bool
+}
+
+// NewCSVWriter returns a writer emitting the dataset header on first write.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: csv.NewWriter(w)}
+}
+
+// Write appends one record.
+func (cw *CSVWriter) Write(r Record) error {
+	if !cw.wroteHeader {
+		if err := cw.w.Write(csvHeader); err != nil {
+			return fmt.Errorf("trace: writing CSV header: %w", err)
+		}
+		cw.wroteHeader = true
+	}
+	row := []string{
+		strconv.FormatUint(r.Block, 10),
+		strconv.FormatInt(r.Time, 10),
+		kindLabel(r.Kind),
+		strconv.FormatUint(r.From, 10),
+		vertexLabel(r.FromContract),
+		strconv.FormatUint(r.To, 10),
+		vertexLabel(r.ToContract),
+		strconv.FormatUint(r.Value, 10),
+	}
+	if err := cw.w.Write(row); err != nil {
+		return fmt.Errorf("trace: writing CSV row: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered rows and reports any accumulated error.
+func (cw *CSVWriter) Flush() error {
+	cw.w.Flush()
+	return cw.w.Error()
+}
+
+// CSVReader streams records from the dataset's CSV format.
+type CSVReader struct {
+	r          *csv.Reader
+	readHeader bool
+}
+
+// NewCSVReader returns a reader over the dataset CSV format.
+func NewCSVReader(r io.Reader) *CSVReader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	return &CSVReader{r: cr}
+}
+
+// Read returns the next record, or io.EOF at the end of the stream.
+func (cr *CSVReader) Read() (Record, error) {
+	if !cr.readHeader {
+		if _, err := cr.r.Read(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Record{}, io.EOF
+			}
+			return Record{}, fmt.Errorf("trace: reading CSV header: %w", err)
+		}
+		cr.readHeader = true
+	}
+	row, err := cr.r.Read()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: reading CSV row: %w", err)
+	}
+	return parseRow(row)
+}
+
+func parseRow(row []string) (Record, error) {
+	var rec Record
+	var err error
+	if rec.Block, err = strconv.ParseUint(row[0], 10, 64); err != nil {
+		return rec, fmt.Errorf("trace: bad block %q: %w", row[0], err)
+	}
+	if rec.Time, err = strconv.ParseInt(row[1], 10, 64); err != nil {
+		return rec, fmt.Errorf("trace: bad time %q: %w", row[1], err)
+	}
+	if rec.Kind, err = parseKind(row[2]); err != nil {
+		return rec, err
+	}
+	if rec.From, err = strconv.ParseUint(row[3], 10, 64); err != nil {
+		return rec, fmt.Errorf("trace: bad from %q: %w", row[3], err)
+	}
+	rec.FromContract = row[4] == "contract"
+	if rec.To, err = strconv.ParseUint(row[5], 10, 64); err != nil {
+		return rec, fmt.Errorf("trace: bad to %q: %w", row[5], err)
+	}
+	rec.ToContract = row[6] == "contract"
+	if rec.Value, err = strconv.ParseUint(row[7], 10, 64); err != nil {
+		return rec, fmt.Errorf("trace: bad value %q: %w", row[7], err)
+	}
+	return rec, nil
+}
+
+// WriteJSONL streams records as JSON Lines.
+func WriteJSONL(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("trace: encoding JSONL: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSON Lines stream of records.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: decoding JSONL: %w", err)
+		}
+		out = append(out, rec)
+	}
+}

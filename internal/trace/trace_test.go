@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ethpart/internal/evm"
+	"ethpart/internal/graph"
+	"ethpart/internal/types"
+	"ethpart/internal/workload"
+)
+
+func TestRegistryAssignsDenseIDs(t *testing.T) {
+	r := NewRegistry()
+	a := types.AddressFromSeq(1)
+	b := types.AddressFromSeq(2)
+	if got := r.ID(a); got != 0 {
+		t.Errorf("first ID = %d, want 0", got)
+	}
+	if got := r.ID(b); got != 1 {
+		t.Errorf("second ID = %d, want 1", got)
+	}
+	if got := r.ID(a); got != 0 {
+		t.Errorf("repeat ID = %d, want 0", got)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	if addr, ok := r.Address(0); !ok || addr != a {
+		t.Errorf("Address(0) = %v, %v", addr, ok)
+	}
+	if _, ok := r.Address(99); ok {
+		t.Error("Address of unknown id must fail")
+	}
+	if _, ok := r.Lookup(types.AddressFromSeq(3)); ok {
+		t.Error("Lookup must not assign")
+	}
+}
+
+func TestRegistryContractFlag(t *testing.T) {
+	r := NewRegistry()
+	id := r.ID(types.AddressFromSeq(1))
+	if r.IsContract(id) {
+		t.Error("fresh vertex must not be a contract")
+	}
+	r.MarkContract(id)
+	if !r.IsContract(id) {
+		t.Error("MarkContract must stick")
+	}
+	r.MarkContract(12345) // out of range: no panic
+}
+
+func TestRecordApplyAndKinds(t *testing.T) {
+	rec := Record{From: 1, To: 2, FromContract: false, ToContract: true}
+	if rec.FromKind() != graph.KindAccount || rec.ToKind() != graph.KindContract {
+		t.Error("kind mapping wrong")
+	}
+	g := graph.New()
+	if err := rec.Apply(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeWeight(1, 2) != 1 {
+		t.Error("Apply must add a weight-1 edge")
+	}
+	if g.VertexKind(2) != graph.KindContract {
+		t.Error("Apply must carry the contract kind")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	records := []Record{
+		{Block: 1, Time: 1000, Kind: evm.KindTransaction, From: 0, To: 1, Value: 42},
+		{Block: 1, Time: 1000, Kind: evm.KindCall, From: 1, To: 2, ToContract: true},
+		{Block: 2, Time: 2000, Kind: evm.KindCreate, From: 0, To: 3, FromContract: true, ToContract: true, Value: ^uint64(0)},
+	}
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	for _, rec := range records {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "block,time,kind,") {
+		t.Errorf("missing header: %q", buf.String()[:40])
+	}
+
+	r := NewCSVReader(&buf)
+	var got []Record
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestCSVReaderEmpty(t *testing.T) {
+	r := NewCSVReader(strings.NewReader(""))
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream: err = %v, want EOF", err)
+	}
+}
+
+func TestCSVReaderBadKind(t *testing.T) {
+	in := "block,time,kind,from,from_kind,to,to_kind,value\n1,2,bogus,0,account,1,account,0\n"
+	r := NewCSVReader(strings.NewReader(in))
+	if _, err := r.Read(); err == nil {
+		t.Error("bad kind must error")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	records := []Record{
+		{Block: 1, Time: 1000, Kind: evm.KindTransaction, From: 0, To: 1, Value: 42},
+		{Block: 9, Time: 5000, Kind: evm.KindCall, From: 7, To: 8, ToContract: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("lost records: %d vs %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestPropertyCSVRoundTrip(t *testing.T) {
+	f := func(block uint64, tm int64, kindRaw uint8, from, to uint64, fc, tc bool, value uint64) bool {
+		kind := evm.CallKind(kindRaw%3) + 1
+		rec := Record{Block: block, Time: tm, Kind: kind, From: from, To: to,
+			FromContract: fc, ToContract: tc, Value: value}
+		var buf bytes.Buffer
+		w := NewCSVWriter(&buf)
+		if err := w.Write(rec); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewCSVReader(&buf)
+		got, err := r.Read()
+		return err == nil && got == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromReceiptsEndToEnd(t *testing.T) {
+	// Generate a couple of blocks and verify the records line up with the
+	// receipts' traces, with contracts flagged.
+	gen, err := workload.New(workload.Config{
+		Seed: 11, Scale: 0.05,
+		Eras: []workload.Era{{
+			Name:          "mini",
+			Start:         time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC),
+			End:           time.Date(2016, 1, 3, 0, 0, 0, 0, time.UTC),
+			TxPerDayStart: 5_000, TxPerDayEnd: 5_000, Kind: workload.GrowthLinear,
+			NewAccountFrac: 0.2, DeploysPerDay: 5,
+			Mix: workload.TxMix{Transfer: 0.5, Token: 0.2, Wallet: 0.1, Crowdsale: 0.1, Game: 0.05, Airdrop: 0.05},
+		}},
+		BlockInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	st := gen.Chain().State()
+	isContract := func(a types.Address) bool { return len(st.GetCode(a)) > 0 }
+
+	var all []Record
+	var traceCount int
+	for {
+		block, receipts, ok, err := gen.NextBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if block == nil {
+			continue
+		}
+		for _, r := range receipts {
+			traceCount += len(r.Traces)
+		}
+		recs := FromReceipts(block.Header.Number, block.Header.Time, receipts, reg, isContract)
+		all = append(all, recs...)
+	}
+	if len(all) == 0 {
+		t.Fatal("no records produced")
+	}
+	if len(all) != traceCount {
+		t.Errorf("records = %d, traces = %d", len(all), traceCount)
+	}
+	// Token contract interactions must be flagged as contract targets.
+	sawContractTarget := false
+	sawInternalCall := false
+	for _, rec := range all {
+		if rec.ToContract && rec.Kind == evm.KindTransaction {
+			sawContractTarget = true
+		}
+		if rec.Kind == evm.KindCall {
+			sawInternalCall = true
+		}
+	}
+	if !sawContractTarget {
+		t.Error("no transaction targeted a contract")
+	}
+	if !sawInternalCall {
+		t.Error("no internal calls recorded")
+	}
+	// IDs must be dense.
+	for _, rec := range all {
+		if rec.From >= uint64(reg.Len()) || rec.To >= uint64(reg.Len()) {
+			t.Fatalf("record references unknown vertex: %+v", rec)
+		}
+	}
+}

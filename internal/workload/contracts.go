@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"ethpart/internal/evm"
+	"ethpart/internal/types"
+)
+
+// Contract archetypes. Each builder returns *runtime* bytecode for the mini
+// EVM; deployment wraps it with evm.DeployWrapper. The archetypes are
+// chosen to produce the interaction patterns the paper's graph exhibits:
+// pure-storage contracts (token), single-forward contracts (wallet),
+// fan-out contracts (airdrop, crowdsale) and stateful recurrent ones (game).
+
+// TokenRuntime is an ERC20-flavoured token: calldata is (to, amount); the
+// contract credits balances[to] and debits balances[caller] in storage.
+// No internal calls — token transfers are single-vertex contract activity.
+func TokenRuntime() []byte {
+	a := evm.NewAssembler()
+	// balances[to] += amount
+	a.Push(0).Op(evm.CALLDATALOAD) // [to]
+	a.Op(evm.DUP1)                 // [to, to]
+	a.Op(evm.SLOAD)                // [to, bal]
+	a.Push(32).Op(evm.CALLDATALOAD)
+	a.Op(evm.ADD)   // [to, bal+amt]
+	a.Op(evm.SWAP1) // [bal+amt, to]
+	a.Op(evm.SSTORE)
+	// balances[caller] -= amount
+	a.Op(evm.CALLER).Op(evm.DUP1).Op(evm.SLOAD) // [caller, bal]
+	a.Push(32).Op(evm.CALLDATALOAD)             // [caller, bal, amt]
+	a.Op(evm.SWAP1)                             // [caller, amt, bal]
+	a.Op(evm.SUB)                               // [caller, bal-amt]
+	a.Op(evm.SWAP1)                             // [bal-amt, caller]
+	a.Op(evm.SSTORE)
+	a.Op(evm.STOP)
+	return a.MustBytes()
+}
+
+// WalletRuntime forwards the call value to the address in calldata word 0 —
+// one internal call per activation, the hot-wallet pattern.
+func WalletRuntime() []byte {
+	a := evm.NewAssembler()
+	a.Push(0).Push(0).Push(0).Push(0) // outSize outOff inSize inOff
+	a.Op(evm.CALLVALUE)
+	a.Push(0).Op(evm.CALLDATALOAD) // to
+	a.Push(40_000)                 // gas
+	a.Op(evm.CALL).Op(evm.POP)
+	a.Op(evm.STOP)
+	return a.MustBytes()
+}
+
+// CrowdsaleRuntime sells tokens: it calls the token contract to credit the
+// buyer, then forwards the raised value to the owner — two internal calls,
+// one to a contract and one to an account, the ICO pattern of 2017.
+func CrowdsaleRuntime(token, owner types.Address) []byte {
+	a := evm.NewAssembler()
+	// memory[0..32) = caller (token transfer recipient)
+	a.Op(evm.CALLER).Push(0).Op(evm.MSTORE)
+	// memory[32..64) = callvalue (token amount)
+	a.Op(evm.CALLVALUE).Push(32).Op(evm.MSTORE)
+	// CALL token(inOff=0, inSize=64, value=0)
+	a.Push(0).Push(0) // outSize outOff
+	a.Push(64).Push(0)
+	a.Push(0) // value
+	a.PushAddress(token)
+	a.Push(60_000)
+	a.Op(evm.CALL).Op(evm.POP)
+	// CALL owner with the raised value.
+	a.Push(0).Push(0).Push(0).Push(0)
+	a.Op(evm.CALLVALUE)
+	a.PushAddress(owner)
+	a.Push(40_000)
+	a.Op(evm.CALL).Op(evm.POP)
+	a.Op(evm.STOP)
+	return a.MustBytes()
+}
+
+// GameRuntime is a stateful game: every move bumps a play counter and
+// records the caller; every 8th move pays 1 wei back to the caller — an
+// occasional internal transfer, the gambling-dapp pattern.
+func GameRuntime() []byte {
+	a := evm.NewAssembler()
+	// counter = SLOAD(0) + 1; SSTORE(0, counter)
+	a.Push(0).Op(evm.SLOAD)
+	a.Push(1).Op(evm.ADD) // [c]
+	a.Op(evm.DUP1)        // [c, c]
+	a.Push(0).Op(evm.SSTORE)
+	// record the caller at slot c: SSTORE(c, caller)
+	a.Op(evm.CALLER) // [c, caller]
+	a.Op(evm.SWAP1)  // [caller, c]
+	a.Op(evm.SSTORE)
+	// if counter % 8 == 0: pay caller 1 wei
+	a.Push(0).Op(evm.SLOAD) // [counter]
+	a.Push(8).Op(evm.SWAP1).Op(evm.MOD)
+	a.Op(evm.ISZERO)
+	a.JumpITo("payout")
+	a.Op(evm.STOP)
+	a.Label("payout")
+	a.Push(0).Push(0).Push(0).Push(0)
+	a.Push(1) // 1 wei
+	a.Op(evm.CALLER)
+	a.Push(40_000)
+	a.Op(evm.CALL).Op(evm.POP)
+	a.Op(evm.STOP)
+	return a.MustBytes()
+}
+
+// AirdropRuntime distributes value: calldata is (n, addr1, …, addrN); the
+// contract performs one zero-value call to every listed address — the
+// fan-out pattern of Fig. 2's contract 9703 and of 2017 airdrops.
+func AirdropRuntime() []byte {
+	a := evm.NewAssembler()
+	a.Push(0).Op(evm.CALLDATALOAD) // [n]
+	a.Push(0)                      // [n, i]
+	a.Label("loop")
+	a.Op(evm.DUP1 + 1) // DUP2: [n, i, n]
+	a.Op(evm.DUP1 + 1) // DUP2: [n, i, n, i]
+	a.Op(evm.EQ)       // [n, i, i==n]
+	a.JumpITo("end")
+	// addr = calldata[32 + i*32]
+	a.Op(evm.DUP1)                            // [n, i, i]
+	a.Push(32).Op(evm.MUL)                    // [n, i, i*32]
+	a.Push(32).Op(evm.ADD)                    // [n, i, 32+i*32]
+	a.Op(evm.CALLDATALOAD)                    // [n, i, addr]
+	a.Push(0).Push(0).Push(0).Push(0).Push(0) // outSize outOff inSize inOff value=0
+	a.Op(evm.DUP1 + 5)                        // DUP6: addr
+	a.Push(25_000)                            // gas
+	a.Op(evm.CALL).Op(evm.POP)                // [n, i, addr]
+	a.Op(evm.POP)                             // [n, i]
+	a.Push(1).Op(evm.ADD)                     // [n, i+1]
+	a.JumpTo("loop")
+	a.Label("end")
+	a.Op(evm.POP).Op(evm.POP).Op(evm.STOP)
+	return a.MustBytes()
+}

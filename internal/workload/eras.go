@@ -1,0 +1,159 @@
+// Package workload generates the synthetic Ethereum history the experiments
+// run on. It stands in for the paper's real blockchain trace (Aug 2015 –
+// Dec 2017): the generator drives the chain substrate with transactions
+// whose statistical shape follows the paper's Fig. 1 narrative — early
+// exponential growth, the Sep/Oct-2016 attack that minted an order of
+// magnitude of dummy accounts, and the superlinear ICO-era growth of 2017 —
+// with preferential-attachment targeting so the resulting graph has the hub
+// skew real blockchains show.
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// EraKind labels the growth regime of an era.
+type EraKind uint8
+
+// Era growth regimes.
+const (
+	// GrowthExponential interpolates the daily rate exponentially between
+	// the era's endpoints — the pre-attack regime of Fig. 1.
+	GrowthExponential EraKind = iota + 1
+	// GrowthLinear interpolates linearly — the paper's "superlinear over
+	// time" post-attack regime (linear in rate ⇒ superlinear in total).
+	GrowthLinear
+)
+
+// TxMix is the probability of each transaction archetype, summing to 1
+// together with DummyFrac (dummy-account creation takes priority).
+type TxMix struct {
+	Transfer  float64 // plain account→account transfer
+	Token     float64 // ERC20-style token transfer (storage writes)
+	Wallet    float64 // wallet contract forwarding value (1 internal call)
+	Crowdsale float64 // crowdsale buy (2 internal calls: token + owner)
+	Game      float64 // game move (occasional payout call)
+	Airdrop   float64 // batch distribution (N internal calls, Fig. 2 style)
+}
+
+// Era is one segment of the synthetic history.
+type Era struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+	// TxPerDayStart/End are the daily transaction rates at the era's
+	// boundaries (at Scale = 1), interpolated according to Kind.
+	TxPerDayStart float64
+	TxPerDayEnd   float64
+	Kind          EraKind
+	// NewAccountFrac is the probability that a transfer goes to a
+	// brand-new account (network growth).
+	NewAccountFrac float64
+	// DummyFrac is the probability that a transaction only mints a
+	// throwaway account that is never touched again — the attack's
+	// signature behaviour.
+	DummyFrac float64
+	// DeploysPerDay is the daily rate of new contract deployments.
+	DeploysPerDay float64
+	Mix           TxMix
+}
+
+// date is a helper for the era table.
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// DefaultEras returns the five-era schedule modelled on the paper's Fig. 1:
+// Frontier and Homestead growth, the autumn-2016 attack, the post-fork
+// recovery, and the 2017 boom. Rates are daily transaction counts at
+// Scale = 1; experiments typically run at Scale ≈ 0.01–0.05 to stay
+// laptop-sized while keeping every regime's relative magnitude.
+func DefaultEras() []Era {
+	return []Era{
+		{
+			Name:          "frontier",
+			Start:         date(2015, time.August, 1),
+			End:           date(2016, time.March, 14),
+			TxPerDayStart: 1_500, TxPerDayEnd: 7_000,
+			Kind:           GrowthExponential,
+			NewAccountFrac: 0.30,
+			DeploysPerDay:  3,
+			Mix:            TxMix{Transfer: 0.88, Token: 0.04, Wallet: 0.04, Crowdsale: 0.01, Game: 0.02, Airdrop: 0.01},
+		},
+		{
+			Name:          "homestead",
+			Start:         date(2016, time.March, 14),
+			End:           date(2016, time.September, 18),
+			TxPerDayStart: 7_000, TxPerDayEnd: 25_000,
+			Kind:           GrowthExponential,
+			NewAccountFrac: 0.25,
+			DeploysPerDay:  8,
+			Mix:            TxMix{Transfer: 0.78, Token: 0.08, Wallet: 0.06, Crowdsale: 0.03, Game: 0.03, Airdrop: 0.02},
+		},
+		{
+			Name:          "attack",
+			Start:         date(2016, time.September, 18),
+			End:           date(2016, time.October, 25),
+			TxPerDayStart: 180_000, TxPerDayEnd: 220_000,
+			Kind:           GrowthLinear,
+			NewAccountFrac: 0.10,
+			DummyFrac:      0.85,
+			DeploysPerDay:  6,
+			Mix:            TxMix{Transfer: 0.10, Token: 0.02, Wallet: 0.01, Crowdsale: 0.005, Game: 0.005, Airdrop: 0.01},
+		},
+		{
+			Name:          "recovery",
+			Start:         date(2016, time.October, 25),
+			End:           date(2017, time.March, 1),
+			TxPerDayStart: 30_000, TxPerDayEnd: 45_000,
+			Kind:           GrowthLinear,
+			NewAccountFrac: 0.20,
+			DeploysPerDay:  12,
+			Mix:            TxMix{Transfer: 0.70, Token: 0.12, Wallet: 0.07, Crowdsale: 0.04, Game: 0.04, Airdrop: 0.03},
+		},
+		{
+			Name:          "boom",
+			Start:         date(2017, time.March, 1),
+			End:           date(2018, time.January, 1),
+			TxPerDayStart: 45_000, TxPerDayEnd: 400_000,
+			Kind:           GrowthExponential,
+			NewAccountFrac: 0.22,
+			DeploysPerDay:  40,
+			Mix:            TxMix{Transfer: 0.48, Token: 0.26, Wallet: 0.08, Crowdsale: 0.10, Game: 0.04, Airdrop: 0.04},
+		},
+	}
+}
+
+// rateAt interpolates the era's daily transaction rate at time t.
+func (e *Era) rateAt(t time.Time) float64 {
+	span := e.End.Sub(e.Start).Seconds()
+	if span <= 0 {
+		return e.TxPerDayStart
+	}
+	frac := t.Sub(e.Start).Seconds() / span
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	switch e.Kind {
+	case GrowthExponential:
+		// r(t) = r0 * (r1/r0)^frac
+		ratio := e.TxPerDayEnd / e.TxPerDayStart
+		return e.TxPerDayStart * math.Pow(ratio, frac)
+	default:
+		return e.TxPerDayStart + (e.TxPerDayEnd-e.TxPerDayStart)*frac
+	}
+}
+
+// eraAt finds the era containing t, or nil when t is outside the schedule.
+func eraAt(eras []Era, t time.Time) *Era {
+	for i := range eras {
+		if !t.Before(eras[i].Start) && t.Before(eras[i].End) {
+			return &eras[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,605 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ethpart/internal/chain"
+	"ethpart/internal/evm"
+	"ethpart/internal/types"
+)
+
+// Config parameterises the synthetic-history generator.
+type Config struct {
+	// Seed makes the whole history reproducible.
+	Seed int64
+	// Scale multiplies every transaction rate. 1.0 approximates the
+	// paper's trace magnitude (tens of millions of interactions); the
+	// experiments default to 0.01–0.05 to stay laptop-sized while keeping
+	// the relative magnitudes of all eras.
+	Scale float64
+	// Eras is the history schedule; defaults to DefaultEras().
+	Eras []Era
+	// BlockInterval is simulated time between blocks; defaults to 1 hour.
+	// (Real Ethereum mines every ~15 s; coarser blocks with
+	// proportionally more transactions produce the same graph.)
+	BlockInterval time.Duration
+	// MaxAirdropFanout bounds airdrop batch size; defaults to 16.
+	MaxAirdropFanout int
+	// PAProb is the probability that an interaction target is drawn by
+	// preferential attachment rather than uniformly; defaults to 0.7,
+	// which yields the heavy-tailed degree distribution real traces show.
+	PAProb float64
+	// Chain configures the underlying blockchain; defaults to
+	// chain.DefaultConfig with a sparse state-commit interval.
+	Chain *chain.Config
+	// Communities, when > 1 together with CommunityLocality > 0, turns on
+	// the shard-aware workload of the paper's first caveat: accounts and
+	// contracts belong to application communities and CommunityLocality of
+	// each account's interactions stays inside its community. See
+	// communityState.
+	Communities       int
+	CommunityLocality float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.02
+	}
+	if c.Eras == nil {
+		c.Eras = DefaultEras()
+	}
+	if c.BlockInterval <= 0 {
+		c.BlockInterval = time.Hour
+	}
+	if c.MaxAirdropFanout <= 0 {
+		c.MaxAirdropFanout = 16
+	}
+	if c.PAProb <= 0 {
+		c.PAProb = 0.7
+	}
+	if c.Chain == nil {
+		cc := chain.DefaultConfig()
+		cc.CommitInterval = 512 // state roots are sampled, not per-block
+		cc.BlockGasLimit = 1 << 62
+		c.Chain = &cc
+	}
+	return c
+}
+
+// initialFunding is the balance a new account receives with its first
+// incoming transfer — enough for many transactions at gas price 1.
+const initialFunding = 100_000_000
+
+// Generator produces the synthetic blockchain history block by block.
+// It is not safe for concurrent use.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	ch  *chain.Chain
+	now time.Time
+	end time.Time
+
+	faucet  types.Address
+	miners  []types.Address
+	seq     uint64                   // address sequence counter
+	pending map[types.Address]uint64 // extra nonces used in the block being built
+	delta   map[types.Address]int64  // balance effects of the block being built
+
+	accounts []types.Address // funded user accounts (candidate senders)
+	paPool   []types.Address // preferential-attachment pool (activity-weighted)
+
+	tokens     []types.Address
+	wallets    []types.Address
+	games      []types.Address
+	airdrops   []types.Address
+	crowdsales []types.Address
+	attackers  []types.Address
+
+	// comm is non-nil when the shard-aware community workload is enabled.
+	comm *communityState
+	// deployComm, when set, pins the next deployTx's contract to a
+	// community (consumed by deployTx).
+	deployComm *int
+
+	stats Stats
+}
+
+// Stats summarises what the generator has produced so far.
+type Stats struct {
+	Blocks        int
+	Transactions  int
+	Skipped       int
+	Deployments   int
+	DummyAccounts int
+}
+
+// New builds a generator, its genesis chain, a starter population and the
+// initial contract set.
+func New(cfg Config) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Eras) == 0 {
+		return nil, fmt.Errorf("workload: empty era schedule")
+	}
+	g := &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		now:     cfg.Eras[0].Start,
+		end:     cfg.Eras[len(cfg.Eras)-1].End,
+		pending: make(map[types.Address]uint64),
+		delta:   make(map[types.Address]int64),
+	}
+	if cfg.Communities > 1 && cfg.CommunityLocality > 0 {
+		g.comm = newCommunityState(cfg.Communities, cfg.CommunityLocality)
+	}
+	g.faucet = g.newAddress()
+	alloc := map[types.Address]evm.Word{
+		// Effectively inexhaustible faucet.
+		g.faucet: {0, 0, 1, 0}, // 2^128 wei
+	}
+	g.ch = chain.NewChain(*cfg.Chain, alloc)
+
+	for i := 0; i < 5; i++ {
+		g.miners = append(g.miners, g.newAddress())
+	}
+	// Starter population and contracts arrive in a bootstrap block.
+	if err := g.bootstrap(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Chain returns the underlying chain.
+func (g *Generator) Chain() *chain.Chain { return g.ch }
+
+// Now returns the next block's timestamp.
+func (g *Generator) Now() time.Time { return g.now }
+
+// Stats returns generation counters.
+func (g *Generator) Stats() Stats { return g.stats }
+
+// Eras returns the schedule (for figure annotations).
+func (g *Generator) Eras() []Era { return g.cfg.Eras }
+
+// newAddress mints the next deterministic address.
+func (g *Generator) newAddress() types.Address {
+	g.seq++
+	return types.AddressFromSeq(g.seq)
+}
+
+// addAccount registers a user account as a future sender and, when the
+// community workload is on, places it in a random community.
+func (g *Generator) addAccount(a types.Address) {
+	g.accounts = append(g.accounts, a)
+	if g.comm != nil {
+		g.comm.addAccount(g.rng, a)
+	}
+}
+
+// addAccountNear registers a new user account in creator's community — the
+// shard-aware growth pattern where newcomers join the application community
+// that onboarded them.
+func (g *Generator) addAccountNear(a, creator types.Address) {
+	g.accounts = append(g.accounts, a)
+	if g.comm != nil {
+		g.comm.addAccountTo(a, g.comm.community(creator))
+	}
+}
+
+// pickContract chooses a contract of one archetype, preferring the
+// sender's community when the shard-aware workload is enabled.
+func (g *Generator) pickContract(sender types.Address, global *[]types.Address) types.Address {
+	if g.comm != nil {
+		if perComm := g.comm.registryFor(global, g); perComm != nil {
+			if addr, ok := g.comm.pickLocal(g.rng, g.comm.community(sender), *perComm); ok {
+				return addr
+			}
+		}
+	}
+	return (*global)[g.rng.Intn(len(*global))]
+}
+
+// nonceOf returns the next usable nonce for addr inside the block being
+// built (chain nonce plus uses earlier in this block).
+func (g *Generator) nonceOf(addr types.Address) uint64 {
+	n := g.ch.State().GetNonce(addr) + g.pending[addr]
+	g.pending[addr]++
+	return n
+}
+
+// avail returns addr's spendable balance including the effects of
+// transactions already queued for the block being built.
+func (g *Generator) avail(addr types.Address) int64 {
+	bal := g.ch.State().GetBalance(addr)
+	var b int64
+	if bal.IsUint64() && bal.Uint64() < 1<<62 {
+		b = int64(bal.Uint64())
+	} else {
+		b = 1 << 62 // effectively unlimited (the faucet)
+	}
+	return b + g.delta[addr]
+}
+
+// noteTx records tx's worst-case balance effects for within-block
+// accounting and returns tx for chaining.
+func (g *Generator) noteTx(tx *chain.Transaction) *chain.Transaction {
+	cost := int64(tx.GasLimit * tx.GasPrice)
+	if tx.Value.IsUint64() {
+		cost += int64(tx.Value.Uint64())
+		if tx.To != nil {
+			g.delta[*tx.To] += int64(tx.Value.Uint64())
+		}
+	}
+	g.delta[tx.From] -= cost
+	return tx
+}
+
+// bootstrap funds the first accounts and deploys the starter contract set.
+func (g *Generator) bootstrap() error {
+	var txs []*chain.Transaction
+	for i := 0; i < 32; i++ {
+		a := g.newAddress()
+		g.addAccount(a)
+		txs = append(txs, g.transferTx(g.faucet, a, initialFunding))
+	}
+	// Deploy two of each archetype (crowdsales need a token+owner first,
+	// so they go through deployContract on the next block).
+	for i := 0; i < 2; i++ {
+		txs = append(txs, g.deployTx(TokenRuntime(), &g.tokens))
+		txs = append(txs, g.deployTx(WalletRuntime(), &g.wallets))
+	}
+	txs = append(txs, g.deployTx(GameRuntime(), &g.games))
+	txs = append(txs, g.deployTx(AirdropRuntime(), &g.airdrops))
+	if err := g.seal(txs); err != nil {
+		return err
+	}
+	// Second bootstrap block: crowdsales referencing the tokens.
+	txs = txs[:0]
+	for i := 0; i < 2; i++ {
+		owner := g.accounts[g.rng.Intn(len(g.accounts))]
+		runtime := CrowdsaleRuntime(g.tokens[i%len(g.tokens)], owner)
+		txs = append(txs, g.deployTx(runtime, &g.crowdsales))
+	}
+	return g.seal(txs)
+}
+
+// seal builds a block from txs and advances time.
+func (g *Generator) seal(txs []*chain.Transaction) error {
+	miner := g.miners[g.rng.Intn(len(g.miners))]
+	_, receipts, skipped := g.ch.BuildBlock(miner, g.now.Unix(), txs)
+	g.stats.Blocks++
+	g.stats.Transactions += len(receipts)
+	g.stats.Skipped += len(skipped)
+	clear(g.pending)
+	clear(g.delta)
+	g.updatePools(receipts)
+	g.now = g.now.Add(g.cfg.BlockInterval)
+	if len(skipped) > 0 {
+		// Skips indicate a generator bug (bad nonce/balance bookkeeping);
+		// surface the first one.
+		return fmt.Errorf("workload: block %d skipped %d txs: %w",
+			g.ch.Head().Header.Number, len(skipped), skipped[0])
+	}
+	return nil
+}
+
+// updatePools feeds executed interactions into the preferential-attachment
+// pool and registers deployed contracts.
+func (g *Generator) updatePools(receipts []*chain.Receipt) {
+	const paCap = 1 << 20
+	for _, r := range receipts {
+		if r.ContractAddress != nil {
+			g.stats.Deployments++
+		}
+		for _, tr := range r.Traces {
+			for _, addr := range [2]types.Address{tr.From, tr.To} {
+				if addr == g.faucet {
+					continue
+				}
+				if len(g.paPool) < paCap {
+					g.paPool = append(g.paPool, addr)
+				} else {
+					g.paPool[g.rng.Intn(paCap)] = addr
+				}
+				if g.comm != nil {
+					g.comm.feedPA(g.rng, addr)
+				}
+			}
+		}
+	}
+}
+
+// pickTarget draws an interaction target for sender: preferential
+// attachment with probability PAProb, otherwise a uniform existing account.
+// With the community workload enabled, the draw stays inside the sender's
+// community with the configured locality.
+func (g *Generator) pickTarget(sender types.Address) types.Address {
+	if g.comm != nil && g.rng.Float64() < g.comm.locality {
+		comm := g.comm.community(sender)
+		if pool := g.comm.pa[comm]; len(pool) > 0 && g.rng.Float64() < g.cfg.PAProb {
+			return pool[g.rng.Intn(len(pool))]
+		}
+		if accs := g.comm.accounts[comm]; len(accs) > 0 {
+			return accs[g.rng.Intn(len(accs))]
+		}
+	}
+	if len(g.paPool) > 0 && g.rng.Float64() < g.cfg.PAProb {
+		return g.paPool[g.rng.Intn(len(g.paPool))]
+	}
+	return g.accounts[g.rng.Intn(len(g.accounts))]
+}
+
+// pickSender draws a funded sender, topping it up from the faucet when its
+// spendable balance (including this block's queued spending) runs low. The
+// returned extra transactions (if any) must precede the sender's
+// transaction in the block.
+func (g *Generator) pickSender(need uint64) (types.Address, []*chain.Transaction) {
+	sender := g.accounts[g.rng.Intn(len(g.accounts))]
+	if g.avail(sender) >= int64(need) {
+		return sender, nil
+	}
+	top := initialFunding + need // cover this transaction plus headroom
+	return sender, []*chain.Transaction{g.transferTx(g.faucet, sender, top)}
+}
+
+// transferTx builds a plain value transfer.
+func (g *Generator) transferTx(from, to types.Address, value uint64) *chain.Transaction {
+	return g.noteTx(&chain.Transaction{
+		Nonce: g.nonceOf(from), From: from, To: &to,
+		Value: evm.WordFromUint64(value), GasLimit: 50_000, GasPrice: 1,
+	})
+}
+
+// deployTx builds a contract deployment from the faucet and records the
+// eventual address in reg.
+func (g *Generator) deployTx(runtime []byte, reg *[]types.Address) *chain.Transaction {
+	nonce := g.nonceOf(g.faucet)
+	addr := types.ContractAddress(g.faucet, nonce)
+	*reg = append(*reg, addr)
+	if g.comm != nil {
+		if perComm := g.comm.registryFor(reg, g); perComm != nil {
+			comm := -1
+			if g.deployComm != nil {
+				comm = *g.deployComm
+				g.deployComm = nil
+			}
+			g.comm.addContract(g.rng, addr, perComm, comm)
+		}
+	}
+	return g.noteTx(&chain.Transaction{
+		Nonce: nonce, From: g.faucet, To: nil,
+		Data: evm.DeployWrapper(runtime), GasLimit: 5_000_000, GasPrice: 1,
+		// Endow contracts that pay out.
+		Value: evm.WordFromUint64(1_000_000),
+	})
+}
+
+// Done reports whether the schedule is exhausted.
+func (g *Generator) Done() bool { return !g.now.Before(g.end) }
+
+// NextBlock generates and executes one block of era-appropriate
+// transactions, returning the sealed block and its receipts. It returns
+// ok=false once the schedule is exhausted.
+func (g *Generator) NextBlock() (*chain.Block, []*chain.Receipt, bool, error) {
+	if g.Done() {
+		return nil, nil, false, nil
+	}
+	era := eraAt(g.cfg.Eras, g.now)
+	if era == nil {
+		// Gap in the schedule: skip forward.
+		g.now = g.now.Add(g.cfg.BlockInterval)
+		return nil, nil, true, nil
+	}
+	perBlock := era.rateAt(g.now) * g.cfg.Scale * g.cfg.BlockInterval.Seconds() / 86_400
+	count := int(perBlock)
+	if g.rng.Float64() < perBlock-float64(count) {
+		count++
+	}
+
+	txs := make([]*chain.Transaction, 0, count+4)
+	// Era-paced contract deployments.
+	perBlockDeploys := era.DeploysPerDay * g.cfg.BlockInterval.Seconds() / 86_400
+	if g.rng.Float64() < perBlockDeploys {
+		txs = append(txs, g.deployContract(era))
+	}
+	for i := 0; i < count; i++ {
+		txs = append(txs, g.generateTx(era)...)
+	}
+	miner := g.miners[g.rng.Intn(len(g.miners))]
+	block, receipts, skipped := g.ch.BuildBlock(miner, g.now.Unix(), txs)
+	g.stats.Blocks++
+	g.stats.Transactions += len(receipts)
+	g.stats.Skipped += len(skipped)
+	clear(g.pending)
+	clear(g.delta)
+	g.updatePools(receipts)
+	g.now = g.now.Add(g.cfg.BlockInterval)
+	if len(skipped) > 0 {
+		return nil, nil, false, fmt.Errorf("workload: block %d skipped %d txs: %w",
+			block.Header.Number, len(skipped), skipped[0])
+	}
+	return block, receipts, true, nil
+}
+
+// deployContract deploys a random archetype weighted toward the era's mix.
+func (g *Generator) deployContract(era *Era) *chain.Transaction {
+	switch g.rng.Intn(5) {
+	case 0:
+		return g.deployTx(TokenRuntime(), &g.tokens)
+	case 1:
+		return g.deployTx(WalletRuntime(), &g.wallets)
+	case 2:
+		return g.deployTx(GameRuntime(), &g.games)
+	case 3:
+		return g.deployTx(AirdropRuntime(), &g.airdrops)
+	default:
+		token := g.tokens[g.rng.Intn(len(g.tokens))]
+		owner := g.accounts[g.rng.Intn(len(g.accounts))]
+		if g.comm != nil {
+			// A shard-aware crowdsale is built around one community's
+			// token and owner and lives in that community.
+			comm := g.rng.Intn(g.comm.n)
+			if local := g.comm.tokens[comm]; len(local) > 0 {
+				token = local[g.rng.Intn(len(local))]
+			}
+			if local := g.comm.accounts[comm]; len(local) > 0 {
+				owner = local[g.rng.Intn(len(local))]
+			}
+			g.deployComm = &comm
+		}
+		return g.deployTx(CrowdsaleRuntime(token, owner), &g.crowdsales)
+	}
+}
+
+// generateTx produces one logical user action (possibly preceded by a
+// faucet top-up transaction).
+func (g *Generator) generateTx(era *Era) []*chain.Transaction {
+	// Attack-era dummy account creation takes priority.
+	if era.DummyFrac > 0 && g.rng.Float64() < era.DummyFrac {
+		return g.dummyTx()
+	}
+	r := g.rng.Float64()
+	m := era.Mix
+	switch {
+	case r < m.Transfer:
+		return g.userTransfer(era)
+	case r < m.Transfer+m.Token:
+		return g.tokenTransfer()
+	case r < m.Transfer+m.Token+m.Wallet:
+		return g.walletForward()
+	case r < m.Transfer+m.Token+m.Wallet+m.Crowdsale:
+		return g.crowdsaleBuy()
+	case r < m.Transfer+m.Token+m.Wallet+m.Crowdsale+m.Game:
+		return g.gameMove()
+	default:
+		return g.airdropBatch()
+	}
+}
+
+// dummyTx mints a throwaway account from an attacker, creating a vertex
+// that is never touched again.
+func (g *Generator) dummyTx() []*chain.Transaction {
+	if len(g.attackers) == 0 {
+		for i := 0; i < 8; i++ {
+			g.attackers = append(g.attackers, g.newAddress())
+		}
+		// Fund attackers generously in-band.
+		var txs []*chain.Transaction
+		for _, a := range g.attackers {
+			txs = append(txs, g.transferTx(g.faucet, a, 1<<40))
+		}
+		txs = append(txs, g.dummyTx()...)
+		return txs
+	}
+	attacker := g.attackers[g.rng.Intn(len(g.attackers))]
+	victim := g.newAddress()
+	g.stats.DummyAccounts++
+	tx := g.transferTx(attacker, victim, 1)
+	// Attacker running dry: top up.
+	if g.avail(attacker) < 1<<20 {
+		return []*chain.Transaction{g.transferTx(g.faucet, attacker, 1<<40), tx}
+	}
+	return []*chain.Transaction{tx}
+}
+
+// userTransfer is a plain transfer; with era probability the recipient is a
+// brand-new account (this is how the population grows).
+func (g *Generator) userTransfer(era *Era) []*chain.Transaction {
+	value := uint64(1_000 + g.rng.Intn(100_000))
+	var to types.Address
+	newAccount := g.rng.Float64() < era.NewAccountFrac
+	if newAccount {
+		value = initialFunding // first transfer funds the account
+	}
+	sender, extra := g.pickSender(value + 50_000)
+	if newAccount {
+		to = g.newAddress()
+		g.addAccountNear(to, sender)
+	} else {
+		to = g.pickTarget(sender)
+	}
+	return append(extra, g.transferTx(sender, to, value))
+}
+
+// tokenTransfer calls a token contract's transfer.
+func (g *Generator) tokenTransfer() []*chain.Transaction {
+	sender, extra := g.pickSender(300_000)
+	token := g.pickContract(sender, &g.tokens)
+	recipient := g.pickTarget(sender)
+	amount := evm.WordFromUint64(uint64(1 + g.rng.Intn(1000)))
+	var data [64]byte
+	rb := evm.WordFromBytes(recipient[:]).Bytes32()
+	ab := amount.Bytes32()
+	copy(data[0:32], rb[:])
+	copy(data[32:64], ab[:])
+	return append(extra, g.noteTx(&chain.Transaction{
+		Nonce: g.nonceOf(sender), From: sender, To: &token,
+		Data: data[:], GasLimit: 300_000, GasPrice: 1,
+	}))
+}
+
+// walletForward sends value through a wallet contract.
+func (g *Generator) walletForward() []*chain.Transaction {
+	value := uint64(100 + g.rng.Intn(10_000))
+	sender, extra := g.pickSender(value + 300_000)
+	wallet := g.pickContract(sender, &g.wallets)
+	target := g.pickTarget(sender)
+	var data [32]byte
+	tb := evm.WordFromBytes(target[:]).Bytes32()
+	copy(data[:], tb[:])
+	return append(extra, g.noteTx(&chain.Transaction{
+		Nonce: g.nonceOf(sender), From: sender, To: &wallet,
+		Value: evm.WordFromUint64(value), Data: data[:], GasLimit: 300_000, GasPrice: 1,
+	}))
+}
+
+// crowdsaleBuy participates in a crowdsale.
+func (g *Generator) crowdsaleBuy() []*chain.Transaction {
+	value := uint64(1_000 + g.rng.Intn(50_000))
+	sender, extra := g.pickSender(value + 500_000)
+	sale := g.pickContract(sender, &g.crowdsales)
+	return append(extra, g.noteTx(&chain.Transaction{
+		Nonce: g.nonceOf(sender), From: sender, To: &sale,
+		Value: evm.WordFromUint64(value), GasLimit: 500_000, GasPrice: 1,
+	}))
+}
+
+// gameMove plays a game contract.
+func (g *Generator) gameMove() []*chain.Transaction {
+	sender, extra := g.pickSender(500_000)
+	game := g.pickContract(sender, &g.games)
+	return append(extra, g.noteTx(&chain.Transaction{
+		Nonce: g.nonceOf(sender), From: sender, To: &game,
+		Value: evm.WordFromUint64(10), GasLimit: 500_000, GasPrice: 1,
+	}))
+}
+
+// airdropBatch distributes to a batch of targets, some brand new.
+func (g *Generator) airdropBatch() []*chain.Transaction {
+	n := 2 + g.rng.Intn(g.cfg.MaxAirdropFanout-1)
+	sender, extra := g.pickSender(uint64(200_000 + n*40_000))
+	drop := g.pickContract(sender, &g.airdrops)
+	data := make([]byte, 32*(n+1))
+	nb := evm.WordFromUint64(uint64(n)).Bytes32()
+	copy(data[0:32], nb[:])
+	for i := 0; i < n; i++ {
+		var target types.Address
+		if g.rng.Float64() < 0.3 {
+			target = g.newAddress()
+			g.addAccountNear(target, sender)
+		} else {
+			target = g.pickTarget(sender)
+		}
+		tb := evm.WordFromBytes(target[:]).Bytes32()
+		copy(data[32*(i+1):], tb[:])
+	}
+	return append(extra, g.noteTx(&chain.Transaction{
+		Nonce: g.nonceOf(sender), From: sender, To: &drop,
+		Data: data, GasLimit: uint64(200_000 + n*40_000), GasPrice: 1,
+	}))
+}
