@@ -103,6 +103,7 @@ func BenchmarkFig1GraphEvolution(b *testing.B) {
 // zero moves.
 func BenchmarkFig3Hashing(b *testing.B) {
 	ds := dataset(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var res *sim.Result
 	for i := 0; i < b.N; i++ {
@@ -119,6 +120,7 @@ func BenchmarkFig3Hashing(b *testing.B) {
 // than hashing at the cost of dynamic imbalance.
 func BenchmarkFig3Metis(b *testing.B) {
 	ds := dataset(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var res *sim.Result
 	for i := 0; i < b.N; i++ {
@@ -131,46 +133,62 @@ func BenchmarkFig3Metis(b *testing.B) {
 	b.ReportMetric(float64(res.Repartitions), "repartitions")
 }
 
+// sweepConfigs builds the method × k configuration grid of a figure sweep.
+func sweepConfigs(ks []int) []sim.Config {
+	var cfgs []sim.Config
+	for _, k := range ks {
+		for _, m := range sim.Methods() {
+			cfgs = append(cfgs, sim.Config{Method: m, K: k})
+		}
+	}
+	return cfgs
+}
+
 // BenchmarkFig4MethodComparison regenerates Fig. 4: all five methods at
-// k ∈ {2, 8}, summarised over the 2017 sub-periods.
+// k ∈ {2, 8}, summarised over the 2017 sub-periods. The independent replays
+// run as one parallel sweep, so ns/op shrinks with available cores.
 func BenchmarkFig4MethodComparison(b *testing.B) {
 	ds := dataset(b)
+	cfgs := sweepConfigs([]int{2, 8})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, k := range []int{2, 8} {
-			for _, m := range sim.Methods() {
-				replayFresh(b, ds, sim.Config{Method: m, K: k})
-			}
+		if _, err := sim.RunSweep(ds.GT, cfgs); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkFig5ShardSweep regenerates Fig. 5: the k ∈ {2,4,8} sweep. The
-// paper's shape: dynamic edge-cut worsens with k for every method;
-// METIS-family beats hashing and KL on cut; hashing and KL win on balance.
+// BenchmarkFig5ShardSweep regenerates Fig. 5: the k ∈ {2,4,8} sweep as one
+// parallel replay sweep. The paper's shape: dynamic edge-cut worsens with k
+// for every method; METIS-family beats hashing and KL on cut; hashing and
+// KL win on balance.
 func BenchmarkFig5ShardSweep(b *testing.B) {
 	ds := dataset(b)
+	cfgs := sweepConfigs([]int{2, 4, 8})
+	b.ReportAllocs()
 	b.ResetTimer()
-	var hash2, hash8, metis8 *sim.Result
+	var results []*sim.Result
 	for i := 0; i < b.N; i++ {
-		for _, k := range []int{2, 4, 8} {
-			for _, m := range sim.Methods() {
-				res := replayFresh(b, ds, sim.Config{Method: m, K: k})
-				switch {
-				case m == sim.MethodHash && k == 2:
-					hash2 = res
-				case m == sim.MethodHash && k == 8:
-					hash8 = res
-				case m == sim.MethodMetis && k == 8:
-					metis8 = res
-				}
-			}
+		var err error
+		results, err = sim.RunSweep(ds.GT, cfgs)
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
-	b.ReportMetric(hash2.OverallDynamicCut, "hash-k2-cut")
-	b.ReportMetric(hash8.OverallDynamicCut, "hash-k8-cut")
-	b.ReportMetric(metis8.OverallDynamicCut, "metis-k8-cut")
+	byKey := func(m sim.Method, k int) *sim.Result {
+		for i, cfg := range cfgs {
+			if cfg.Method == m && cfg.K == k {
+				return results[i]
+			}
+		}
+		b.Fatalf("missing sweep result for %v k=%d", m, k)
+		return nil
+	}
+	b.ReportMetric(byKey(sim.MethodHash, 2).OverallDynamicCut, "hash-k2-cut")
+	b.ReportMetric(byKey(sim.MethodHash, 8).OverallDynamicCut, "hash-k8-cut")
+	b.ReportMetric(byKey(sim.MethodMetis, 8).OverallDynamicCut, "metis-k8-cut")
 }
 
 // BenchmarkAblationMatching compares heavy-edge matching against random
@@ -183,6 +201,7 @@ func BenchmarkAblationMatching(b *testing.B) {
 		random bool
 	}{{"heavy-edge", false}, {"random", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := multilevel.New(multilevel.Config{Seed: 3, RandomMatching: mode.random})
 			var parts []int
 			for i := 0; i < b.N; i++ {
@@ -207,6 +226,7 @@ func BenchmarkAblationRefinement(b *testing.B) {
 		skip bool
 	}{{"with-fm", false}, {"no-fm", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			p := multilevel.New(multilevel.Config{Seed: 3, SkipRefinement: mode.skip})
 			var parts []int
 			for i := 0; i < b.N; i++ {
@@ -231,6 +251,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 		hash bool
 	}{{"min-cut-rule", false}, {"hash-placement", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var res *sim.Result
 			for i := 0; i < b.N; i++ {
 				res = replayFresh(b, ds, sim.Config{
@@ -257,6 +278,7 @@ func BenchmarkAblationWindow(b *testing.B) {
 		{"4-weeks", 28 * 24 * time.Hour},
 	} {
 		b.Run(span.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var res *sim.Result
 			for i := 0; i < b.N; i++ {
 				res = replayFresh(b, ds, sim.Config{
@@ -284,6 +306,7 @@ func BenchmarkAblationThresholds(b *testing.B) {
 		{"cut-0.70", 0.70},
 	} {
 		b.Run(th.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var res *sim.Result
 			for i := 0; i < b.N; i++ {
 				res = replayFresh(b, ds, sim.Config{
@@ -314,6 +337,7 @@ func BenchmarkStreamingBaselines(b *testing.B) {
 		{"multilevel", multilevel.New(multilevel.Config{Seed: 3})},
 	} {
 		b.Run(cand.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var parts []int
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -324,6 +348,35 @@ func BenchmarkStreamingBaselines(b *testing.B) {
 			}
 			b.ReportMetric(cutOf(csr, parts), "dyn-cut")
 		})
+	}
+}
+
+// BenchmarkProcessRecord isolates Simulator.Process, the per-interaction
+// hot path of every replay: graph insertion, placement of new vertices and
+// the window/cut accounting. ns/op and allocs/op here are the per-record
+// cost every figure pays once per interaction.
+func BenchmarkProcessRecord(b *testing.B) {
+	ds := dataset(b)
+	recs := ds.GT.Records
+	newSim := func() *sim.Simulator {
+		s, err := sim.New(sim.Config{Method: sim.MethodRMetis, K: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s := newSim()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(recs)
+		if j == 0 && i > 0 {
+			// Restart the replay so records keep arriving in time order.
+			s = newSim()
+		}
+		if err := s.Process(recs[j]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

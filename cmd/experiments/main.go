@@ -81,6 +81,12 @@ func run(args []string) error {
 	case "costs":
 		return costs(ds, out, *k)
 	case "all":
+		// Warm the result cache with one parallel sweep over every
+		// method × k the figures need (fig3 uses k=2, fig4 k∈{2,8},
+		// fig5 k∈{2,4,8}); the figure renderers then serve from cache.
+		if err := ds.Prefetch([]int{2, 4, 8}); err != nil {
+			return err
+		}
 		for _, f := range []func() error{
 			func() error { return fig1(ds, out) },
 			func() error { return fig2(ds) },

@@ -1,0 +1,3 @@
+module ethpart
+
+go 1.24

@@ -89,6 +89,17 @@ func NewDataset(p Params) (*Dataset, error) {
 	return &Dataset{Params: p, GT: gt, cache: make(map[simKey]*sim.Result)}, nil
 }
 
+// configFor is the simulation configuration for method at k shards using
+// the paper's policy parameters.
+func (d *Dataset) configFor(method sim.Method, k int) sim.Config {
+	return sim.Config{
+		Method:           method,
+		K:                k,
+		Window:           d.Params.Window,
+		RepartitionEvery: d.Params.RepartitionEvery,
+	}
+}
+
 // Run returns the (cached) simulation result for method at k shards using
 // the paper's policy parameters.
 func (d *Dataset) Run(method sim.Method, k int) (*sim.Result, error) {
@@ -96,17 +107,42 @@ func (d *Dataset) Run(method sim.Method, k int) (*sim.Result, error) {
 	if res, ok := d.cache[key]; ok {
 		return res, nil
 	}
-	res, err := sim.Replay(d.GT, sim.Config{
-		Method:           method,
-		K:                k,
-		Window:           d.Params.Window,
-		RepartitionEvery: d.Params.RepartitionEvery,
-	})
+	res, err := sim.Replay(d.GT, d.configFor(method, k))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %v k=%d: %w", method, k, err)
 	}
 	d.cache[key] = res
 	return res, nil
+}
+
+// Prefetch fills the result cache for every method at each of the given
+// shard counts by replaying the missing combinations in parallel with
+// sim.RunSweep. Figure methods then serve from the cache; calling Prefetch
+// first turns the serial method×k loops of Fig. 4 and Fig. 5 into one
+// multi-core sweep.
+func (d *Dataset) Prefetch(ks []int) error {
+	var cfgs []sim.Config
+	var keys []simKey
+	for _, k := range ks {
+		for _, m := range sim.Methods() {
+			if _, ok := d.cache[simKey{m, k}]; ok {
+				continue
+			}
+			cfgs = append(cfgs, d.configFor(m, k))
+			keys = append(keys, simKey{m, k})
+		}
+	}
+	if len(cfgs) == 0 {
+		return nil
+	}
+	results, err := sim.RunSweep(d.GT, cfgs)
+	if err != nil {
+		return fmt.Errorf("experiments: prefetch: %w", err)
+	}
+	for i, key := range keys {
+		d.cache[key] = results[i]
+	}
+	return nil
 }
 
 // Fig1Row is one monthly sample of graph size.
@@ -283,8 +319,11 @@ func Fig4Periods() []string {
 }
 
 // Fig4 computes every cell of Fig. 4 for the given shard counts (the paper
-// uses 2 and 8).
+// uses 2 and 8). Uncached method×k combinations are replayed in parallel.
 func (d *Dataset) Fig4(ks []int) ([]Fig4Cell, error) {
+	if err := d.Prefetch(ks); err != nil {
+		return nil, err
+	}
 	var cells []Fig4Cell
 	for _, k := range ks {
 		for _, m := range sim.Methods() {
@@ -334,8 +373,12 @@ type Fig5Row struct {
 }
 
 // Fig5 sweeps the shard counts (the paper uses 2, 4, 8) over all methods
-// on the full history.
+// on the full history. Uncached method×k combinations are replayed in
+// parallel.
 func (d *Dataset) Fig5(ks []int) ([]Fig5Row, error) {
+	if err := d.Prefetch(ks); err != nil {
+		return nil, err
+	}
 	var rows []Fig5Row
 	for _, m := range sim.Methods() {
 		for _, k := range ks {

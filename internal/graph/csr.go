@@ -16,14 +16,15 @@ import (
 type CSR struct {
 	// IDs maps local index -> original vertex ID, sorted ascending.
 	IDs []VertexID
-	// Index maps original vertex ID -> local index.
-	Index map[VertexID]int32
+	// Index maps original vertex ID -> local index. It is a dense table
+	// over the graph's ID space ([0, MaxID)); IDs not in the graph hold -1.
+	Index []int32
 	// VW holds per-vertex dynamic weights (interaction counts).
 	VW []int64
 	// XAdj is the CSR row index: the neighbours of local vertex i are
 	// Adj[XAdj[i]:XAdj[i+1]] with weights AdjW at the same positions.
 	XAdj []int32
-	// Adj holds neighbour local indices.
+	// Adj holds neighbour local indices, sorted ascending within a row.
 	Adj []int32
 	// AdjW holds undirected edge weights, parallel to Adj.
 	AdjW []int64
@@ -37,73 +38,109 @@ type CSR struct {
 	NumEdges int
 }
 
+// CSRBuilder builds CSRs while reusing its merge scratch across builds, so
+// the simulator's periodic window rebuilds stop allocating the intermediate
+// half-edge buffers every two simulated weeks. The zero value is ready to
+// use. A builder is not safe for concurrent use; the CSRs it returns are
+// independent of the builder and of each other.
+type CSRBuilder struct {
+	halfTo []int32 // merged adjacency targets, grouped by source local index
+	halfW  []int64 // weights parallel to halfTo
+	fill   []int32 // per-row write cursor for the scatter pass
+}
+
 // NewCSR builds the undirected CSR view of g. The result does not alias g;
-// later mutations of g are not reflected.
+// later mutations of g are not reflected. Callers building CSRs repeatedly
+// should hold a CSRBuilder and call its Build method instead.
 func NewCSR(g *Graph) *CSR {
+	return new(CSRBuilder).Build(g)
+}
+
+// Build constructs the undirected CSR view of g.
+//
+// Rows come out sorted by neighbour index without any comparison sort: the
+// merged adjacency is first gathered per source vertex (ascending), then
+// scattered to its target rows — each row receives its sources in ascending
+// order, a counting-sort over edge targets.
+func (b *CSRBuilder) Build(g *Graph) *CSR {
 	n := g.VertexCount()
 	c := &CSR{
 		IDs:   g.VertexIDs(),
-		Index: make(map[VertexID]int32, n),
+		Index: make([]int32, g.MaxID()),
 		VW:    make([]int64, n),
 		XAdj:  make([]int32, n+1),
 	}
+	for i := range c.Index {
+		c.Index[i] = -1
+	}
 	for i, id := range c.IDs {
-		c.Index[id] = int32(i)
+		if id < VertexID(len(c.Index)) {
+			c.Index[id] = int32(i)
+		}
+		w := g.weights[g.slotOf(id)]
+		c.VW[i] = w
+		c.TotalVW += w
+	}
+	// localOf resolves a vertex ID to its local index: a table probe for
+	// dense IDs, a binary search over the sorted ID list for spilled ones.
+	localOf := func(v VertexID) int32 {
+		if v < VertexID(len(c.Index)) {
+			return c.Index[v]
+		}
+		return int32(sort.Search(len(c.IDs), func(q int) bool { return c.IDs[q] >= v }))
 	}
 
-	// First pass: degrees.
-	deg := make([]int32, n)
-	for i, id := range c.IDs {
-		c.VW[i] = g.VertexWeight(id)
-		c.TotalVW += c.VW[i]
-		deg[i] = int32(g.Degree(id))
-	}
-	var total int32
+	// Gather pass: the merged (undirected, deduplicated) adjacency of every
+	// vertex, in ascending vertex order, into the reusable half-edge
+	// buffers. XAdj doubles as the offsets of this grouping because the
+	// merged half adjacency of a vertex is exactly its final CSR row.
+	halfTo, halfW := b.halfTo[:0], b.halfW[:0]
 	for i := 0; i < n; i++ {
-		c.XAdj[i] = total
-		total += deg[i]
+		s := g.slotOf(c.IDs[i])
+		ro, ri := &g.out[s], &g.in[s]
+		for p := range ro.e {
+			v, w := ro.e[p].to, ro.e[p].w
+			if q := ri.find(v); q >= 0 {
+				w += ri.e[q].w
+			}
+			halfTo = append(halfTo, localOf(v))
+			halfW = append(halfW, w)
+		}
+		for p := range ri.e {
+			v := ri.e[p].to
+			if ro.find(v) >= 0 {
+				continue
+			}
+			halfTo = append(halfTo, localOf(v))
+			halfW = append(halfW, ri.e[p].w)
+		}
+		c.XAdj[i+1] = int32(len(halfTo))
 	}
-	c.XAdj[n] = total
-	c.Adj = make([]int32, total)
-	c.AdjW = make([]int64, total)
+	b.halfTo, b.halfW = halfTo, halfW
 
-	// Second pass: fill adjacency.
-	fill := make([]int32, n)
+	// Scatter pass: write each half edge into its target's row. Sources are
+	// visited in ascending order, so every row is born sorted.
+	if cap(b.fill) < n {
+		b.fill = make([]int32, n)
+	}
+	fill := b.fill[:n]
 	copy(fill, c.XAdj[:n])
-	for i, id := range c.IDs {
-		li := int32(i)
-		g.Neighbors(id, func(v VertexID, w int64) bool {
-			lj := c.Index[v]
-			c.Adj[fill[li]] = lj
-			c.AdjW[fill[li]] = w
-			fill[li]++
-			if li < lj { // count each undirected edge once
-				c.TotalEW += w
+	c.Adj = make([]int32, len(halfTo))
+	c.AdjW = make([]int64, len(halfTo))
+	for i := int32(0); int(i) < n; i++ {
+		for p := c.XAdj[i]; p < c.XAdj[i+1]; p++ {
+			j := halfTo[p]
+			pos := fill[j]
+			c.Adj[pos] = i
+			c.AdjW[pos] = halfW[p]
+			fill[j]++
+			if i < j { // count each undirected edge once
+				c.TotalEW += halfW[p]
 				c.NumEdges++
 			}
-			return true
-		})
-	}
-	// Sort each row by neighbour index for deterministic iteration.
-	for i := 0; i < n; i++ {
-		lo, hi := c.XAdj[i], c.XAdj[i+1]
-		row := adjRow{adj: c.Adj[lo:hi], w: c.AdjW[lo:hi]}
-		sort.Sort(row)
+		}
 	}
 	return c
-}
-
-// adjRow sorts an adjacency row and its weights together.
-type adjRow struct {
-	adj []int32
-	w   []int64
-}
-
-func (r adjRow) Len() int           { return len(r.adj) }
-func (r adjRow) Less(i, j int) bool { return r.adj[i] < r.adj[j] }
-func (r adjRow) Swap(i, j int) {
-	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
-	r.w[i], r.w[j] = r.w[j], r.w[i]
 }
 
 // N returns the number of vertices.
@@ -129,6 +166,11 @@ func (c *CSR) Validate() error {
 	}
 	if int(c.XAdj[n]) != len(c.Adj) || len(c.Adj) != len(c.AdjW) {
 		return fmt.Errorf("csr: adjacency length mismatch")
+	}
+	for i, id := range c.IDs {
+		if id < VertexID(len(c.Index)) && c.Index[id] != int32(i) {
+			return fmt.Errorf("csr: Index does not invert IDs at local %d (id %d)", i, id)
+		}
 	}
 	var ew int64
 	var edges int

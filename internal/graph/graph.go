@@ -6,6 +6,13 @@
 // The package supports incremental construction (one interaction at a time,
 // as transactions execute), snapshots, windowed sub-graphs, a compact CSR
 // form consumed by the partitioners, and DOT export for visualisation.
+//
+// Storage is dense: the trace registry assigns vertex IDs from zero, so the
+// graph keeps per-vertex records in slices indexed through a VertexID->slot
+// table instead of hash maps. Adjacency rows are append-only slices of
+// half edges carved from a shared arena; rows that grow past a threshold
+// (hub contracts) gain a lazily built position index so edge lookups stay
+// O(1) without paying a map per vertex.
 package graph
 
 import (
@@ -17,7 +24,9 @@ import (
 //
 // IDs are assigned by the caller (typically the address registry in the
 // chain package) and are stable across snapshots: the same account keeps the
-// same ID for the life of the blockchain.
+// same ID for the life of the blockchain. IDs are expected to be dense
+// (assigned from zero upward); the graph's ID table grows to the largest ID
+// seen.
 type VertexID uint64
 
 // Kind distinguishes externally-owned accounts from smart contracts.
@@ -47,10 +56,77 @@ func (k Kind) String() string {
 // Valid reports whether k is one of the declared kinds.
 func (k Kind) Valid() bool { return k == KindAccount || k == KindContract }
 
-// vertexData is the per-vertex record held by a Graph.
-type vertexData struct {
-	kind   Kind
-	weight int64 // dynamic weight: number of interactions the vertex took part in
+// rowIndexThreshold is the row length beyond which a row builds its
+// neighbour-position index. Small rows (the vast majority) use a linear
+// scan over a contiguous slice, which beats a map well past a dozen
+// entries; hub rows amortise the map across thousands of lookups.
+const rowIndexThreshold = 32
+
+// halfEdge is one directed adjacency entry: the far endpoint and the
+// accumulated edge weight. Neighbour and weight share a struct so a row is
+// one contiguous allocation instead of two parallel ones.
+type halfEdge struct {
+	to VertexID
+	w  int64
+}
+
+// row is one adjacency direction of a vertex: half edges in insertion
+// order, with a lazily built position index once the row grows past
+// rowIndexThreshold.
+type row struct {
+	e   []halfEdge
+	idx map[VertexID]int32 // nil while len(e) <= rowIndexThreshold
+}
+
+// find returns the position of v in the row, or -1.
+func (r *row) find(v VertexID) int32 {
+	if r.idx != nil {
+		if p, ok := r.idx[v]; ok {
+			return p
+		}
+		return -1
+	}
+	for i := range r.e {
+		if r.e[i].to == v {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// add accumulates weight w onto the edge to v, creating the entry if it is
+// new, and reports whether it was created. New rows draw their first block
+// from g's edge arena.
+func (r *row) add(g *Graph, v VertexID, w int64) bool {
+	if p := r.find(v); p >= 0 {
+		r.e[p].w += w
+		return false
+	}
+	if r.e == nil {
+		r.e = g.newRowBlock()
+	}
+	r.e = append(r.e, halfEdge{to: v, w: w})
+	if r.idx != nil {
+		r.idx[v] = int32(len(r.e) - 1)
+	} else if len(r.e) > rowIndexThreshold {
+		r.idx = make(map[VertexID]int32, 2*len(r.e))
+		for i := range r.e {
+			r.idx[r.e[i].to] = int32(i)
+		}
+	}
+	return true
+}
+
+// clone returns a deep copy of the row.
+func (r *row) clone() row {
+	c := row{e: append([]halfEdge(nil), r.e...)}
+	if r.idx != nil {
+		c.idx = make(map[VertexID]int32, len(r.idx))
+		for k, v := range r.idx {
+			c.idx[k] = v
+		}
+	}
+	return c
 }
 
 // Graph is a directed multigraph with weighted vertices and edges.
@@ -60,22 +136,69 @@ type vertexData struct {
 //
 // The zero value is not usable; call New.
 type Graph struct {
-	vertices map[VertexID]*vertexData
-	out      map[VertexID]map[VertexID]int64 // out[u][v] = weight of edge u->v
-	in       map[VertexID]map[VertexID]int64 // in[v][u]  = weight of edge u->v
+	// slot maps VertexID -> dense slot, -1 for absent vertices. Its length
+	// tracks the largest dense-region ID seen plus one, so sparse windowed
+	// sub-graphs pay four bytes per ID of address space, not a full vertex
+	// record. IDs at or above denseIDLimit — callers hashing addresses
+	// straight into VertexIDs — live in the spill map instead, trading the
+	// O(1) array probe for a map probe rather than an absurd table.
+	slot  []int32
+	spill map[VertexID]int32
+	// Per-slot vertex records, in insertion order.
+	ids     []VertexID
+	kinds   []Kind
+	weights []int64 // dynamic weight: interactions the vertex took part in
+	out     []row   // out[s] lists v with edge ids[s]->v
+	in      []row   // in[s] lists u with edge u->ids[s]
+
+	// arena hands out the initial fixed-size block of every adjacency row.
+	// Most vertices stay within one block for their whole life, so row
+	// storage costs one allocation per few hundred rows instead of one
+	// each; rows that outgrow their block migrate to their own slice via
+	// ordinary append growth.
+	arena []halfEdge
 
 	numEdges        int   // number of distinct directed (u,v) pairs
 	totalEdgeWeight int64 // sum of all directed edge weights
 	totalVertWeight int64 // sum of all vertex weights
 }
 
+// rowBlockCap is the capacity of a row's initial arena block.
+const rowBlockCap = 4
+
+// newRowBlock carves a zero-length, rowBlockCap-capacity block off the
+// arena. The full slice expression caps the block so a row growing past it
+// reallocates privately instead of clobbering its arena neighbour.
+func (g *Graph) newRowBlock() []halfEdge {
+	if cap(g.arena)-len(g.arena) < rowBlockCap {
+		g.arena = make([]halfEdge, 0, 1024*rowBlockCap)
+	}
+	lo := len(g.arena)
+	g.arena = g.arena[:lo+rowBlockCap]
+	return g.arena[lo:lo:lo+rowBlockCap]
+}
+
+// denseIDLimit bounds the dense VertexID->slot table: 2^22 IDs cost at most
+// 16 MiB, far above any registry-assigned ID space while keeping a graph
+// safe against callers that mint VertexIDs from address bits.
+const denseIDLimit = VertexID(1) << 22
+
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{
-		vertices: make(map[VertexID]*vertexData),
-		out:      make(map[VertexID]map[VertexID]int64),
-		in:       make(map[VertexID]map[VertexID]int64),
+	return &Graph{}
+}
+
+// slotOf returns the dense slot of id, or -1.
+func (g *Graph) slotOf(id VertexID) int32 {
+	if id < VertexID(len(g.slot)) {
+		return g.slot[id]
 	}
+	if g.spill != nil {
+		if s, ok := g.spill[id]; ok {
+			return s
+		}
+	}
+	return -1
 }
 
 // EnsureVertex adds a vertex with the given kind if it does not exist yet and
@@ -83,23 +206,40 @@ func New() *Graph {
 // never changed: accounts that later deploy code are modelled as separate
 // contract vertices by the caller.
 func (g *Graph) EnsureVertex(id VertexID, kind Kind) bool {
-	if _, ok := g.vertices[id]; ok {
+	if g.slotOf(id) >= 0 {
 		return false
 	}
-	g.vertices[id] = &vertexData{kind: kind}
+	s := int32(len(g.ids))
+	if id < denseIDLimit {
+		if VertexID(len(g.slot)) <= id {
+			grown := append(g.slot, make([]int32, int(id)+1-len(g.slot))...)
+			for i := len(g.slot); i < len(grown); i++ {
+				grown[i] = -1
+			}
+			g.slot = grown
+		}
+		g.slot[id] = s
+	} else {
+		if g.spill == nil {
+			g.spill = make(map[VertexID]int32)
+		}
+		g.spill[id] = s
+	}
+	g.ids = append(g.ids, id)
+	g.kinds = append(g.kinds, kind)
+	g.weights = append(g.weights, 0)
+	g.out = append(g.out, row{})
+	g.in = append(g.in, row{})
 	return true
 }
 
 // HasVertex reports whether id is in the graph.
-func (g *Graph) HasVertex(id VertexID) bool {
-	_, ok := g.vertices[id]
-	return ok
-}
+func (g *Graph) HasVertex(id VertexID) bool { return g.slotOf(id) >= 0 }
 
 // VertexKind returns the kind of vertex id, or zero if the vertex is absent.
 func (g *Graph) VertexKind(id VertexID) Kind {
-	if v, ok := g.vertices[id]; ok {
-		return v.kind
+	if s := g.slotOf(id); s >= 0 {
+		return g.kinds[s]
 	}
 	return 0
 }
@@ -107,8 +247,8 @@ func (g *Graph) VertexKind(id VertexID) Kind {
 // VertexWeight returns the dynamic weight (interaction count) of id, or zero
 // if the vertex is absent.
 func (g *Graph) VertexWeight(id VertexID) int64 {
-	if v, ok := g.vertices[id]; ok {
-		return v.weight
+	if s := g.slotOf(id); s >= 0 {
+		return g.weights[s]
 	}
 	return 0
 }
@@ -129,38 +269,27 @@ func (g *Graph) AddInteraction(from, to VertexID, fromKind, toKind Kind, w int64
 	}
 	g.EnsureVertex(from, fromKind)
 	g.EnsureVertex(to, toKind)
+	sf := g.slotOf(from)
 
-	g.vertices[from].weight += w
+	g.weights[sf] += w
 	g.totalVertWeight += w
 	if from == to {
 		return nil
 	}
-	g.vertices[to].weight += w
+	st := g.slotOf(to)
+	g.weights[st] += w
 	g.totalVertWeight += w
 
-	m := g.out[from]
-	if m == nil {
-		m = make(map[VertexID]int64)
-		g.out[from] = m
-	}
-	if _, existed := m[to]; !existed {
+	if g.out[sf].add(g, to, w) {
 		g.numEdges++
 	}
-	m[to] += w
-
-	r := g.in[to]
-	if r == nil {
-		r = make(map[VertexID]int64)
-		g.in[to] = r
-	}
-	r[from] += w
-
+	g.in[st].add(g, from, w)
 	g.totalEdgeWeight += w
 	return nil
 }
 
 // VertexCount returns the number of vertices.
-func (g *Graph) VertexCount() int { return len(g.vertices) }
+func (g *Graph) VertexCount() int { return len(g.ids) }
 
 // EdgeCount returns the number of distinct directed edges.
 func (g *Graph) EdgeCount() int { return g.numEdges }
@@ -171,11 +300,17 @@ func (g *Graph) TotalEdgeWeight() int64 { return g.totalEdgeWeight }
 // TotalVertexWeight returns the sum of all vertex weights.
 func (g *Graph) TotalVertexWeight() int64 { return g.totalVertWeight }
 
-// Vertices calls fn for every vertex until fn returns false. Iteration order
-// is unspecified.
+// MaxID returns the exclusive upper bound of the graph's dense ID region:
+// every vertex ID below MaxID resolves through the dense slot table. The
+// CSR builder sizes its dense ID->local table with it; vertices with
+// spilled IDs (>= denseIDLimit) are resolved by search instead.
+func (g *Graph) MaxID() VertexID { return VertexID(len(g.slot)) }
+
+// Vertices calls fn for every vertex until fn returns false. Iteration
+// follows insertion order.
 func (g *Graph) Vertices(fn func(id VertexID, kind Kind, weight int64) bool) {
-	for id, v := range g.vertices {
-		if !fn(id, v.kind, v.weight) {
+	for s, id := range g.ids {
+		if !fn(id, g.kinds[s], g.weights[s]) {
 			return
 		}
 	}
@@ -184,19 +319,34 @@ func (g *Graph) Vertices(fn func(id VertexID, kind Kind, weight int64) bool) {
 // VertexIDs returns all vertex IDs in ascending order. The slice is freshly
 // allocated on every call.
 func (g *Graph) VertexIDs() []VertexID {
-	ids := make([]VertexID, 0, len(g.vertices))
-	for id := range g.vertices {
-		ids = append(ids, id)
+	ids := make([]VertexID, 0, len(g.ids))
+	for id, s := range g.slot {
+		if s >= 0 {
+			ids = append(ids, VertexID(id))
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(g.spill) > 0 {
+		// Spilled IDs are all >= denseIDLimit, i.e. above every dense ID;
+		// sorting just the spilled tail keeps the whole slice ordered.
+		tail := len(ids)
+		for id := range g.spill {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids[tail:], func(i, j int) bool { return ids[tail+i] < ids[tail+j] })
+	}
 	return ids
 }
 
 // OutNeighbors calls fn for every directed edge leaving u until fn returns
 // false.
 func (g *Graph) OutNeighbors(u VertexID, fn func(v VertexID, w int64) bool) {
-	for v, w := range g.out[u] {
-		if !fn(v, w) {
+	s := g.slotOf(u)
+	if s < 0 {
+		return
+	}
+	r := &g.out[s]
+	for i := range r.e {
+		if !fn(r.e[i].to, r.e[i].w) {
 			return
 		}
 	}
@@ -205,8 +355,13 @@ func (g *Graph) OutNeighbors(u VertexID, fn func(v VertexID, w int64) bool) {
 // InNeighbors calls fn for every directed edge entering v until fn returns
 // false.
 func (g *Graph) InNeighbors(v VertexID, fn func(u VertexID, w int64) bool) {
-	for u, w := range g.in[v] {
-		if !fn(u, w) {
+	s := g.slotOf(v)
+	if s < 0 {
+		return
+	}
+	r := &g.in[s]
+	for i := range r.e {
+		if !fn(r.e[i].to, r.e[i].w) {
 			return
 		}
 	}
@@ -216,22 +371,26 @@ func (g *Graph) InNeighbors(v VertexID, fn func(u VertexID, w int64) bool) {
 // weight w(u->v)+w(v->u), until fn returns false. This is the adjacency the
 // partitioners and the incremental placement rule consume.
 func (g *Graph) Neighbors(u VertexID, fn func(v VertexID, w int64) bool) {
-	seen := g.out[u]
-	for v, w := range seen {
-		if back, ok := g.in[u]; ok {
-			if bw, ok := back[v]; ok {
-				w += bw
-			}
+	s := g.slotOf(u)
+	if s < 0 {
+		return
+	}
+	ro, ri := &g.out[s], &g.in[s]
+	for i := range ro.e {
+		v, w := ro.e[i].to, ro.e[i].w
+		if p := ri.find(v); p >= 0 {
+			w += ri.e[p].w
 		}
 		if !fn(v, w) {
 			return
 		}
 	}
-	for v, w := range g.in[u] {
-		if _, dup := seen[v]; dup {
+	for i := range ri.e {
+		v := ri.e[i].to
+		if ro.find(v) >= 0 {
 			continue
 		}
-		if !fn(v, w) {
+		if !fn(v, ri.e[i].w) {
 			return
 		}
 	}
@@ -239,9 +398,14 @@ func (g *Graph) Neighbors(u VertexID, fn func(v VertexID, w int64) bool) {
 
 // Degree returns the number of distinct undirected neighbours of u.
 func (g *Graph) Degree(u VertexID) int {
-	n := len(g.out[u])
-	for v := range g.in[u] {
-		if _, dup := g.out[u][v]; !dup {
+	s := g.slotOf(u)
+	if s < 0 {
+		return 0
+	}
+	ro, ri := &g.out[s], &g.in[s]
+	n := len(ro.e)
+	for i := range ri.e {
+		if ro.find(ri.e[i].to) < 0 {
 			n++
 		}
 	}
@@ -251,18 +415,24 @@ func (g *Graph) Degree(u VertexID) int {
 // EdgeWeight returns the weight of the directed edge u->v, or zero when the
 // edge is absent.
 func (g *Graph) EdgeWeight(u, v VertexID) int64 {
-	if m, ok := g.out[u]; ok {
-		return m[v]
+	s := g.slotOf(u)
+	if s < 0 {
+		return 0
+	}
+	r := &g.out[s]
+	if p := r.find(v); p >= 0 {
+		return r.e[p].w
 	}
 	return 0
 }
 
 // Edges calls fn for every distinct directed edge until fn returns false.
-// Iteration order is unspecified.
+// Iteration follows vertex insertion order, then row insertion order.
 func (g *Graph) Edges(fn func(u, v VertexID, w int64) bool) {
-	for u, m := range g.out {
-		for v, w := range m {
-			if !fn(u, v, w) {
+	for s, u := range g.ids {
+		r := &g.out[s]
+		for i := range r.e {
+			if !fn(u, r.e[i].to, r.e[i].w) {
 				return
 			}
 		}
@@ -272,30 +442,26 @@ func (g *Graph) Edges(fn func(u, v VertexID, w int64) bool) {
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		vertices:        make(map[VertexID]*vertexData, len(g.vertices)),
-		out:             make(map[VertexID]map[VertexID]int64, len(g.out)),
-		in:              make(map[VertexID]map[VertexID]int64, len(g.in)),
+		slot:            append([]int32(nil), g.slot...),
+		spill:           nil,
+		ids:             append([]VertexID(nil), g.ids...),
+		kinds:           append([]Kind(nil), g.kinds...),
+		weights:         append([]int64(nil), g.weights...),
+		out:             make([]row, len(g.out)),
+		in:              make([]row, len(g.in)),
 		numEdges:        g.numEdges,
 		totalEdgeWeight: g.totalEdgeWeight,
 		totalVertWeight: g.totalVertWeight,
 	}
-	for id, v := range g.vertices {
-		vc := *v
-		c.vertices[id] = &vc
-	}
-	for u, m := range g.out {
-		mc := make(map[VertexID]int64, len(m))
-		for v, w := range m {
-			mc[v] = w
+	if g.spill != nil {
+		c.spill = make(map[VertexID]int32, len(g.spill))
+		for id, s := range g.spill {
+			c.spill[id] = s
 		}
-		c.out[u] = mc
 	}
-	for v, m := range g.in {
-		mc := make(map[VertexID]int64, len(m))
-		for u, w := range m {
-			mc[u] = w
-		}
-		c.in[v] = mc
+	for i := range g.out {
+		c.out[i] = g.out[i].clone()
+		c.in[i] = g.in[i].clone()
 	}
 	return c
 }

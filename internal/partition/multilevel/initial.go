@@ -1,7 +1,6 @@
 package multilevel
 
 import (
-	"container/heap"
 	"math/rand"
 )
 
@@ -25,7 +24,6 @@ func growBisection(g *mlGraph, rng *rand.Rand, targetLeft int64) []uint8 {
 	inRegion := make([]bool, n)
 	var regionW int64
 	pq := &gainHeap{}
-	heap.Init(pq)
 	inQueue := make([]bool, n)
 
 	seed := func() int32 {
@@ -58,7 +56,7 @@ func growBisection(g *mlGraph, rng *rand.Rand, targetLeft int64) []uint8 {
 				for _, x := range uw {
 					deg += x
 				}
-				heap.Push(pq, gainItem{v: u, gain: 2*w[p] - deg})
+				pq.push(gainItem{v: u, gain: 2*w[p] - deg})
 				inQueue[u] = true
 			}
 		}
@@ -77,7 +75,7 @@ func growBisection(g *mlGraph, rng *rand.Rand, targetLeft int64) []uint8 {
 			absorb(s)
 			continue
 		}
-		item := heap.Pop(pq).(gainItem)
+		item := pq.pop()
 		if inRegion[item.v] {
 			continue
 		}
@@ -92,20 +90,66 @@ type gainItem struct {
 	gain int64
 }
 
-// gainHeap is a max-heap of frontier vertices by gain. Stale entries are
-// tolerated (lazy deletion); bump pushes an updated entry.
+// gainHeap is a max-heap of frontier vertices by gain, implemented directly
+// rather than through container/heap: the refinement inner loop performs
+// millions of pushes and pops, and the interface boxing of heap.Push/Pop
+// costs an allocation per operation. Stale entries are tolerated (lazy
+// deletion); bump pushes an updated entry.
 type gainHeap []gainItem
 
-func (h gainHeap) Len() int            { return len(h) }
-func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
-func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
-func (h *gainHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h gainHeap) Len() int { return len(h) }
+
+// push inserts an item and sifts it up.
+func (h *gainHeap) push(it gainItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].gain >= s[i].gain {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the maximum-gain item.
+func (h *gainHeap) pop() gainItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	h.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap property below position i.
+func (h gainHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && h[r].gain > h[l].gain {
+			big = r
+		}
+		if h[i].gain >= h[big].gain {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// heapify establishes the heap property over arbitrary contents.
+func (h gainHeap) heapify() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // bump raises v's priority by pushing a fresher, higher-gain entry; the
@@ -115,5 +159,5 @@ func (h *gainHeap) bump(v int32, extra int64) {
 	// with a modest boost keeps the heap approximate but fast. The greedy
 	// growing phase only needs a good-enough ordering — FM refinement
 	// cleans up afterwards.
-	heap.Push(h, gainItem{v: v, gain: 2 * extra})
+	h.push(gainItem{v: v, gain: 2 * extra})
 }

@@ -1,9 +1,5 @@
 package multilevel
 
-import (
-	"container/heap"
-)
-
 // fmRefine runs Fiduccia–Mattheyses boundary refinement on a two-way
 // partition: repeatedly move the highest-gain movable vertex to the other
 // side (respecting the balance envelope), lock it, and at the end of the
@@ -76,7 +72,7 @@ func fmRefine(g *mlGraph, side []uint8, targetLeft, tol int64, maxPasses int) {
 				*pq = append(*pq, gainItem{v: v, gain: gain})
 			}
 		}
-		heap.Init(pq)
+		pq.heapify()
 
 		type moveRec struct {
 			v int32
@@ -96,7 +92,7 @@ func fmRefine(g *mlGraph, side []uint8, targetLeft, tol int64, maxPasses int) {
 			if bestIdx >= 0 && len(moves)-1-bestIdx >= noImprovementLimit {
 				break
 			}
-			item := heap.Pop(pq).(gainItem)
+			item := pq.pop()
 			v := item.v
 			if locked[v] {
 				continue
@@ -104,7 +100,7 @@ func fmRefine(g *mlGraph, side []uint8, targetLeft, tol int64, maxPasses int) {
 			if item.gain != gains[v] {
 				// Stale: this vertex's gain changed since it was queued.
 				// Re-queue it at its true gain so it is not lost.
-				heap.Push(pq, gainItem{v: v, gain: gains[v]})
+				pq.push(gainItem{v: v, gain: gains[v]})
 				continue
 			}
 			if !withinAfter(v) {
@@ -138,7 +134,7 @@ func fmRefine(g *mlGraph, side []uint8, targetLeft, tol int64, maxPasses int) {
 					gains[u] -= 2 * w[p]
 				} else {
 					gains[u] += 2 * w[p]
-					heap.Push(pq, gainItem{v: u, gain: gains[u]})
+					pq.push(gainItem{v: u, gain: gains[u]})
 				}
 			}
 		}

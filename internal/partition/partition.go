@@ -42,11 +42,26 @@ type Refiner interface {
 // It is the mutable, incremental structure the simulator maintains between
 // repartitionings; partitioners work on CSR-indexed slices and their output
 // is applied back through Apply.
+//
+// Storage is a dense VertexID-indexed table (vertex IDs come from the trace
+// registry, which assigns them from zero), so shard lookups on the replay
+// hot path are a bounds check and a load instead of a map probe. IDs at or
+// above denseIDLimit — callers minting VertexIDs from address bits — fall
+// back to a spill map, mirroring the graph package's dense/spill split.
 type Assignment struct {
 	k      int
-	shards map[graph.VertexID]int
+	shards []int32 // VertexID -> shard for IDs < denseIDLimit, noShard when unassigned
+	spill  map[graph.VertexID]int32
+	n      int // number of assigned vertices
 	counts []int
 }
+
+// noShard is the internal unassigned sentinel of the dense shard table.
+const noShard int32 = -1
+
+// denseIDLimit bounds the dense shard table (16 MiB worst case), matching
+// the graph package's dense ID region.
+const denseIDLimit = graph.VertexID(1) << 22
 
 // NewAssignment returns an empty assignment over k shards.
 func NewAssignment(k int) (*Assignment, error) {
@@ -55,7 +70,6 @@ func NewAssignment(k int) (*Assignment, error) {
 	}
 	return &Assignment{
 		k:      k,
-		shards: make(map[graph.VertexID]int),
 		counts: make([]int, k),
 	}, nil
 }
@@ -64,12 +78,22 @@ func NewAssignment(k int) (*Assignment, error) {
 func (a *Assignment) K() int { return a.k }
 
 // Len returns the number of assigned vertices.
-func (a *Assignment) Len() int { return len(a.shards) }
+func (a *Assignment) Len() int { return a.n }
 
 // ShardOf returns the shard of v.
 func (a *Assignment) ShardOf(v graph.VertexID) (int, bool) {
-	s, ok := a.shards[v]
-	return s, ok
+	if v < graph.VertexID(len(a.shards)) {
+		if s := a.shards[v]; s != noShard {
+			return int(s), true
+		}
+		return 0, false
+	}
+	if a.spill != nil {
+		if s, ok := a.spill[v]; ok {
+			return int(s), true
+		}
+	}
+	return 0, false
 }
 
 // Count returns the number of vertices in shard s.
@@ -86,24 +110,52 @@ func (a *Assignment) Assign(v graph.VertexID, s int) (prev int, moved bool, err 
 	if s < 0 || s >= a.k {
 		return NoShard, false, fmt.Errorf("partition: shard %d out of range [0,%d)", s, a.k)
 	}
-	if old, ok := a.shards[v]; ok {
-		if old == s {
-			return old, false, nil
+	old := noShard
+	if v < denseIDLimit {
+		if graph.VertexID(len(a.shards)) <= v {
+			grown := append(a.shards, make([]int32, int(v)+1-len(a.shards))...)
+			for i := len(a.shards); i < len(grown); i++ {
+				grown[i] = noShard
+			}
+			a.shards = grown
+		}
+		old = a.shards[v]
+		a.shards[v] = int32(s)
+	} else {
+		if a.spill == nil {
+			a.spill = make(map[graph.VertexID]int32)
+		}
+		if sp, ok := a.spill[v]; ok {
+			old = sp
+		}
+		a.spill[v] = int32(s)
+	}
+	if old != noShard {
+		if int(old) == s {
+			return int(old), false, nil
 		}
 		a.counts[old]--
 		a.counts[s]++
-		a.shards[v] = s
-		return old, true, nil
+		return int(old), true, nil
 	}
-	a.shards[v] = s
 	a.counts[s]++
+	a.n++
 	return NoShard, false, nil
 }
 
-// Each calls fn for every assigned vertex.
+// Each calls fn for every assigned vertex: dense IDs in ascending order,
+// then spilled IDs in unspecified order.
 func (a *Assignment) Each(fn func(v graph.VertexID, shard int) bool) {
 	for v, s := range a.shards {
-		if !fn(v, s) {
+		if s == noShard {
+			continue
+		}
+		if !fn(graph.VertexID(v), int(s)) {
+			return
+		}
+	}
+	for v, s := range a.spill {
+		if !fn(v, int(s)) {
 			return
 		}
 	}
@@ -113,11 +165,15 @@ func (a *Assignment) Each(fn func(v graph.VertexID, shard int) bool) {
 func (a *Assignment) Clone() *Assignment {
 	c := &Assignment{
 		k:      a.k,
-		shards: make(map[graph.VertexID]int, len(a.shards)),
+		shards: append([]int32(nil), a.shards...),
+		n:      a.n,
 		counts: append([]int(nil), a.counts...),
 	}
-	for v, s := range a.shards {
-		c.shards[v] = s
+	if a.spill != nil {
+		c.spill = make(map[graph.VertexID]int32, len(a.spill))
+		for v, s := range a.spill {
+			c.spill[v] = s
+		}
 	}
 	return c
 }
@@ -146,7 +202,7 @@ func (a *Assignment) Apply(c *graph.CSR, parts []int) (moves int, err error) {
 func (a *Assignment) ToParts(c *graph.CSR) []int {
 	parts := make([]int, c.N())
 	for i, id := range c.IDs {
-		if s, ok := a.shards[id]; ok {
+		if s, ok := a.ShardOf(id); ok {
 			parts[i] = s
 		} else {
 			parts[i] = NoShard

@@ -23,8 +23,19 @@ const placeMaxOverload = 1.2
 // their shards and the per-shard vertex counts for tie-breaking. The vertex
 // is not assigned — the caller decides what to do with the answer.
 func PlaceVertex(g *graph.Graph, a *Assignment, v graph.VertexID) int {
+	return PlaceVertexScratch(g, a, v, make([]int64, a.K()))
+}
+
+// PlaceVertexScratch is PlaceVertex with a caller-provided scratch slice of
+// length at least a.K(), letting hot loops (one placement per newly seen
+// vertex during replay) avoid a per-call allocation. The scratch contents
+// are overwritten.
+func PlaceVertexScratch(g *graph.Graph, a *Assignment, v graph.VertexID, scratch []int64) int {
 	k := a.K()
-	attract := make([]int64, k)
+	attract := scratch[:k]
+	for i := range attract {
+		attract[i] = 0
+	}
 	any := false
 	g.Neighbors(v, func(u graph.VertexID, w int64) bool {
 		if s, ok := a.ShardOf(u); ok {

@@ -1,0 +1,54 @@
+package partition
+
+import (
+	"testing"
+
+	"ethpart/internal/graph"
+)
+
+// TestAssignmentSpilledIDs pins the dense/spill split: vertex IDs minted
+// from address bits (far above the registry's dense region) must assign,
+// move, clone and iterate without the dense table growing toward them.
+func TestAssignmentSpilledIDs(t *testing.T) {
+	a, err := NewAssignment(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := graph.VertexID(1) << 40
+	if _, _, err := a.Assign(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Assign(huge, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := a.ShardOf(huge); !ok || s != 2 {
+		t.Fatalf("ShardOf(huge) = %d, %v", s, ok)
+	}
+	if a.Len() != 2 || a.Count(2) != 1 {
+		t.Fatalf("Len=%d Count(2)=%d", a.Len(), a.Count(2))
+	}
+	// Move the spilled vertex and check counts follow.
+	if prev, moved, err := a.Assign(huge, 0); err != nil || !moved || prev != 2 {
+		t.Fatalf("move: prev=%d moved=%v err=%v", prev, moved, err)
+	}
+	if a.Count(0) != 1 || a.Count(2) != 0 {
+		t.Fatalf("counts after move: %v", a.Counts())
+	}
+	// Clone must carry the spill map independently.
+	c := a.Clone()
+	if _, _, err := a.Assign(huge, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := c.ShardOf(huge); s != 0 {
+		t.Fatalf("clone mutated: ShardOf(huge) = %d", s)
+	}
+	// Each must visit both regions.
+	seen := map[graph.VertexID]int{}
+	a.Each(func(v graph.VertexID, shard int) bool {
+		seen[v] = shard
+		return true
+	})
+	if len(seen) != 2 || seen[7] != 1 || seen[huge] != 1 {
+		t.Fatalf("Each visited %v", seen)
+	}
+}

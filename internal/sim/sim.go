@@ -196,6 +196,13 @@ type Simulator struct {
 	ml   *multilevel.Partitioner
 	kl   *partition.KL
 
+	// csrb reuses CSR build scratch across window rebuilds.
+	csrb graph.CSRBuilder
+	// placeScratch and loadScratch keep PlaceVertex and staticBalance
+	// allocation-free on the per-record hot path.
+	placeScratch []int64
+	loadScratch  []int64
+
 	// Incrementally maintained cumulative cut state.
 	cutEdges, totalEdges   int64
 	cutWeight, totalWeight int64
@@ -235,15 +242,17 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	return &Simulator{
-		cfg:     cfg,
-		full:    graph.New(),
-		window:  graph.New(),
-		assign:  assign,
-		ml:      multilevel.New(cfg.Multilevel),
-		kl:      partition.NewKL(cfg.KL),
-		winLoad: make([]int64, cfg.K),
-		runLoad: make([]int64, cfg.K),
-		result:  Result{Method: cfg.Method, K: cfg.K},
+		cfg:          cfg,
+		full:         graph.New(),
+		window:       graph.New(),
+		assign:       assign,
+		ml:           multilevel.New(cfg.Multilevel),
+		kl:           partition.NewKL(cfg.KL),
+		placeScratch: make([]int64, cfg.K),
+		loadScratch:  make([]int64, cfg.K),
+		winLoad:      make([]int64, cfg.K),
+		runLoad:      make([]int64, cfg.K),
+		result:       Result{Method: cfg.Method, K: cfg.K},
 	}, nil
 }
 
@@ -339,7 +348,7 @@ func (s *Simulator) placeIfNew(v graph.VertexID) (int, error) {
 	if s.cfg.Method == MethodHash || s.cfg.HashPlacement {
 		shard = s.hash.ShardOf(v, s.cfg.K)
 	} else {
-		shard = partition.PlaceVertex(s.full, s.assign, v)
+		shard = partition.PlaceVertexScratch(s.full, s.assign, v, s.placeScratch)
 	}
 	if _, _, err := s.assign.Assign(v, shard); err != nil {
 		return 0, err
@@ -376,12 +385,10 @@ func (s *Simulator) flushWindow() {
 
 // staticBalance is Eq. 2 over assignment vertex counts.
 func (s *Simulator) staticBalance() float64 {
-	counts := s.assign.Counts()
-	loads := make([]int64, len(counts))
-	for i, c := range counts {
-		loads[i] = int64(c)
+	for i := range s.loadScratch {
+		s.loadScratch[i] = int64(s.assign.Count(i))
 	}
-	return metrics.LoadBalance(loads)
+	return metrics.LoadBalance(s.loadScratch)
 }
 
 // maybeRepartition fires the method's policy at a window boundary.
@@ -425,7 +432,7 @@ func (s *Simulator) repartition(now time.Time) error {
 		if s.window.VertexCount() == 0 {
 			break
 		}
-		csr := graph.NewCSR(s.window)
+		csr := s.csrb.Build(s.window)
 		parts := s.assign.ToParts(csr)
 		// All window vertices were placed on first sight.
 		refined, err := s.kl.Refine(csr, s.cfg.K, parts)
@@ -440,7 +447,7 @@ func (s *Simulator) repartition(now time.Time) error {
 		if s.full.VertexCount() == 0 {
 			break
 		}
-		csr := graph.NewCSR(s.full)
+		csr := s.csrb.Build(s.full)
 		parts, err := s.ml.Partition(csr, s.cfg.K)
 		if err != nil {
 			return fmt.Errorf("sim: multilevel partition: %w", err)
@@ -453,7 +460,7 @@ func (s *Simulator) repartition(now time.Time) error {
 		if s.window.VertexCount() == 0 {
 			break
 		}
-		csr := graph.NewCSR(s.window)
+		csr := s.csrb.Build(s.window)
 		parts, err := s.ml.Partition(csr, s.cfg.K)
 		if err != nil {
 			return fmt.Errorf("sim: multilevel partition (window): %w", err)
@@ -468,49 +475,69 @@ func (s *Simulator) repartition(now time.Time) error {
 	s.winMoves += int64(moves)
 	s.result.TotalMoves += int64(moves)
 	s.result.Repartitions++
-	s.recomputeCut()
 	return nil
 }
 
-// applyParts applies a partitioner result, accounting moved storage.
+// applyParts applies a partitioner result, accounting moved storage and
+// keeping the cumulative cut counters exact incrementally: each moved
+// vertex contributes the cut delta of its incident full-graph edges, so a
+// repartition costs O(sum of moved-vertex degrees) instead of a full O(E)
+// recount over the cumulative graph.
 func (s *Simulator) applyParts(csr *graph.CSR, parts []int) (int, error) {
+	if len(parts) != csr.N() {
+		return 0, fmt.Errorf("sim: applying partition: result has %d entries for %d vertices",
+			len(parts), csr.N())
+	}
+	var moves int
 	var slots int64
-	if s.cfg.StorageSlots != nil {
-		for i, id := range csr.IDs {
-			if old, ok := s.assign.ShardOf(id); ok && old != parts[i] {
+	for i, id := range csr.IDs {
+		old, ok := s.assign.ShardOf(id)
+		if ok && old == parts[i] {
+			continue
+		}
+		if ok {
+			s.moveCutDelta(id, old, parts[i])
+			if s.cfg.StorageSlots != nil {
 				slots += int64(s.cfg.StorageSlots(id))
 			}
+			moves++
 		}
-	}
-	moves, err := s.assign.Apply(csr, parts)
-	if err != nil {
-		return 0, fmt.Errorf("sim: applying partition: %w", err)
+		if _, _, err := s.assign.Assign(id, parts[i]); err != nil {
+			return moves, fmt.Errorf("sim: applying partition: %w", err)
+		}
 	}
 	s.winSlots += slots
 	s.result.TotalMovedSlots += slots
 	return moves, nil
 }
 
-// recomputeCut rebuilds the cumulative cut counters after a repartition
-// (O(E), amortised over the two weeks between repartitions).
-func (s *Simulator) recomputeCut() {
-	var cutE, totE, cutW, totW int64
-	s.full.Edges(func(u, v graph.VertexID, w int64) bool {
-		su, ok1 := s.assign.ShardOf(u)
-		sv, ok2 := s.assign.ShardOf(v)
-		if !ok1 || !ok2 {
+// moveCutDelta updates the cumulative cut counters for vertex v moving from
+// shard old to shard next. It must run before the assignment is updated;
+// neighbour shards reflect the current (possibly mid-batch) state, which
+// keeps the invariant exact because each single-vertex move is accounted
+// against the state it executes in.
+func (s *Simulator) moveCutDelta(v graph.VertexID, old, next int) {
+	adjust := func(u graph.VertexID, w int64) bool {
+		su, ok := s.assign.ShardOf(u)
+		if !ok {
 			return true
 		}
-		totE++
-		totW += w
-		if su != sv {
-			cutE++
-			cutW += w
+		wasCross := su != old
+		isCross := su != next
+		if wasCross == isCross {
+			return true
+		}
+		if isCross {
+			s.cutEdges++
+			s.cutWeight += w
+		} else {
+			s.cutEdges--
+			s.cutWeight -= w
 		}
 		return true
-	})
-	s.cutEdges, s.totalEdges = cutE, totE
-	s.cutWeight, s.totalWeight = cutW, totW
+	}
+	s.full.OutNeighbors(v, adjust)
+	s.full.InNeighbors(v, adjust)
 }
 
 // Finish flushes the open window and computes run-level metrics.

@@ -95,6 +95,69 @@ func TestPropertyWindowAccountingConsistent(t *testing.T) {
 	}
 }
 
+// TestPropertyIncrementalCutMatchesRecount pins the incremental cut
+// accounting (per-move deltas in applyParts plus per-record updates in
+// Process) to a from-scratch O(E) recount over the final graph and
+// assignment, across random streams, methods and shard counts.
+func TestPropertyIncrementalCutMatchesRecount(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%250) + 30
+		method := Methods()[int(mRaw)%len(Methods())]
+		k := []int{2, 3, 4, 8}[int(kRaw)%4]
+
+		s, err := New(Config{
+			Method: method, K: k,
+			Window:            2 * time.Hour,
+			RepartitionEvery:  24 * time.Hour,
+			MinRepartitionGap: 12 * time.Hour,
+			TriggerWindows:    2,
+		})
+		if err != nil {
+			return false
+		}
+		for _, r := range randomRecords(rng, n, 30, 5*24*time.Hour) {
+			if err := s.Process(r); err != nil {
+				return false
+			}
+		}
+		res := s.Finish()
+
+		var cutE, totE, cutW, totW int64
+		s.Graph().Edges(func(u, v graph.VertexID, w int64) bool {
+			su, _ := s.Assignment().ShardOf(u)
+			sv, _ := s.Assignment().ShardOf(v)
+			totE++
+			totW += w
+			if su != sv {
+				cutE++
+				cutW += w
+			}
+			return true
+		})
+		wantCut := 0.0
+		if totE > 0 {
+			wantCut = float64(cutE) / float64(totE)
+		}
+		if res.FinalStaticCut != wantCut {
+			t.Errorf("%v k=%d: FinalStaticCut = %v, recount %v (cutE=%d totE=%d)",
+				method, k, res.FinalStaticCut, wantCut, cutE, totE)
+			return false
+		}
+		if s.cutEdges != cutE || s.totalEdges != totE ||
+			s.cutWeight != cutW || s.totalWeight != totW {
+			t.Errorf("%v k=%d: counters (%d/%d, %d/%d), recount (%d/%d, %d/%d)",
+				method, k, s.cutEdges, s.totalEdges, s.cutWeight, s.totalWeight,
+				cutE, totE, cutW, totW)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestPropertyHashNeverMoves(t *testing.T) {
 	f := func(seed int64, nRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))

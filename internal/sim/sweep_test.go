@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestRunSweepMatchesSerialReplay checks the parallel sweep's contract: for
+// every method × k combination the sweep result must be deeply identical to
+// a serial Replay of the same configuration over the same trace.
+func TestRunSweepMatchesSerialReplay(t *testing.T) {
+	gt := smallTrace(t)
+
+	var cfgs []Config
+	for _, k := range []int{2, 4} {
+		for _, m := range Methods() {
+			cfgs = append(cfgs, Config{
+				Method: m, K: k,
+				Window:           4 * time.Hour,
+				RepartitionEvery: 3 * 24 * time.Hour,
+			})
+		}
+	}
+
+	got, err := RunSweep(gt, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cfgs) {
+		t.Fatalf("sweep returned %d results for %d configs", len(got), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := Replay(gt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("%v k=%d: sweep result differs from serial replay", cfg.Method, cfg.K)
+		}
+	}
+}
+
+// TestRunSweepEmpty checks the no-op edge case.
+func TestRunSweepEmpty(t *testing.T) {
+	results, err := RunSweep(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("expected no results, got %d", len(results))
+	}
+}
+
+// TestRunSweepPropagatesError checks that an invalid configuration surfaces
+// as an error while valid siblings still complete.
+func TestRunSweepPropagatesError(t *testing.T) {
+	gt := smallTrace(t)
+	cfgs := []Config{
+		{Method: MethodHash, K: 2},
+		{Method: Method(99), K: 2}, // invalid
+	}
+	results, err := RunSweep(gt, cfgs)
+	if err == nil {
+		t.Fatal("expected an error for the invalid method")
+	}
+	if results[0] == nil {
+		t.Error("valid sibling config should still produce a result")
+	}
+}
