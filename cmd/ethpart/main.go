@@ -5,6 +5,12 @@
 // Usage:
 //
 //	ethpart -trace trace.csv -method metis -k 4 [-window 4h] [-repartition 336h]
+//	ethpart ops [-seed 1] [-scale 0.002] [-k 2] [-csv]
+//
+// The ops subcommand runs the operational co-simulation: every method is
+// replayed through a live sharded chain under both multi-shard models and
+// the edge-cut curves gain operational twins — cross-shard messages,
+// settlement latency, migrated state and failed transactions.
 package main
 
 import (
@@ -23,7 +29,14 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "ops" {
+		err = runOps(args[1:])
+	} else {
+		err = run(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ethpart:", err)
 		os.Exit(1)
 	}

@@ -44,6 +44,27 @@ func writeTestTrace(t *testing.T) string {
 	return path
 }
 
+func TestOpsValidation(t *testing.T) {
+	if err := runOps([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag must error")
+	}
+	if err := runOps([]string{"-k", "0"}); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+func TestOpsRunsAllMethodsAndModels(t *testing.T) {
+	// A tiny seeded workload through the full method × model matrix, both
+	// output formats.
+	for _, extra := range [][]string{nil, {"-csv"}} {
+		args := append([]string{"-seed", "3", "-scale", "0.0001", "-k", "2",
+			"-repartition", "168h"}, extra...)
+		if err := runOps(args); err != nil {
+			t.Errorf("ops %v: %v", extra, err)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Error("missing -trace must error")

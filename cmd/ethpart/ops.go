@@ -1,0 +1,112 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"ethpart/internal/experiments"
+	"ethpart/internal/report"
+)
+
+// runOps executes the ops subcommand: generate a seeded workload, replay it
+// through a live sharded chain for every method under both multi-shard
+// models, and report per-window and total operational metrics.
+func runOps(args []string) error {
+	fs := flag.NewFlagSet("ethpart ops", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "workload seed")
+	scale := fs.Float64("scale", 0.002, "workload scale")
+	k := fs.Int("k", 2, "number of shards")
+	window := fs.Duration("window", 4*time.Hour, "metric window")
+	repartition := fs.Duration("repartition", 14*24*time.Hour, "repartition period")
+	blockInterval := fs.Duration("block", 2*time.Hour, "simulated block interval")
+	csvOut := fs.Bool("csv", false, "emit per-window CSV instead of the summary table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *k < 1 {
+		return fmt.Errorf("ops: k must be >= 1, got %d", *k)
+	}
+
+	start := time.Now()
+	ds, err := experiments.NewDataset(experiments.Params{
+		Seed:             *seed,
+		Scale:            *scale,
+		BlockInterval:    *blockInterval,
+		Window:           *window,
+		RepartitionEvery: *repartition,
+	})
+	if err != nil {
+		return err
+	}
+	rows, err := ds.Operational(*k)
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return opsCSV(os.Stdout, rows)
+	}
+	fmt.Printf("replayed %s interactions × %d method/model runs in %v\n\n",
+		report.FormatCount(int64(len(ds.GT.Records))), len(rows),
+		time.Since(start).Round(time.Millisecond))
+	return opsTable(os.Stdout, rows)
+}
+
+// opsTable renders the summary matrix: one row per method × model.
+func opsTable(w io.Writer, rows []experiments.OperationalRow) error {
+	var out [][]string
+	for _, row := range rows {
+		res := row.Result
+		latency := "-"
+		if res.Totals.ReceiptsSettled > 0 {
+			latency = fmt.Sprintf("%.2f", res.MeanSettlement())
+		}
+		out = append(out, []string{
+			row.Method.String(),
+			row.Model.String(),
+			report.FormatFloat(res.Sim.OverallDynamicCut),
+			fmt.Sprintf("%.1f%%", 100*res.CrossFraction()),
+			report.FormatCount(res.Totals.Messages),
+			latency,
+			report.FormatCount(res.Totals.Migrations),
+			report.FormatCount(res.Totals.MigratedSlots),
+			report.FormatCount(res.Totals.Failed),
+		})
+	}
+	return report.Table(w, []string{
+		"method", "model", "dyn-cut", "cross-txs", "messages", "latency(blk)",
+		"migrations", "slots", "failed",
+	}, out)
+}
+
+// opsCSV emits every window of every run as one CSV stream.
+func opsCSV(w io.Writer, rows []experiments.OperationalRow) error {
+	headers := []string{
+		"method", "model", "window_start", "interactions", "cross_txs",
+		"messages", "receipts_settled", "mean_settlement_blocks",
+		"migrations", "migrated_slots", "failed", "dynamic_cut",
+	}
+	var out [][]string
+	for _, row := range rows {
+		for _, win := range row.Result.Windows {
+			out = append(out, []string{
+				row.Method.String(),
+				row.Model.String(),
+				win.Start.UTC().Format(time.RFC3339),
+				strconv.FormatInt(win.Interactions, 10),
+				strconv.FormatInt(win.CrossTxs, 10),
+				strconv.FormatInt(win.Messages, 10),
+				strconv.FormatInt(win.ReceiptsSettled, 10),
+				fmt.Sprintf("%.3f", win.MeanSettlement()),
+				strconv.FormatInt(win.Migrations, 10),
+				strconv.FormatInt(win.MigratedSlots, 10),
+				strconv.FormatInt(win.Failed, 10),
+				fmt.Sprintf("%.6f", win.DynamicCut),
+			})
+		}
+	}
+	return report.CSV(w, headers, out)
+}

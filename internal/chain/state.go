@@ -213,6 +213,21 @@ func (s *State) SetState(addr types.Address, key, value evm.Word) {
 	}})
 }
 
+// DeleteAccount removes addr from the state entirely — balance, nonce,
+// code and every storage slot — journaling the removal so it reverts like
+// any other mutation. It is the purge half of a cross-shard migration: the
+// source shard must not keep a ghost copy of the account.
+func (s *State) DeleteAccount(addr types.Address) {
+	acc, ok := s.accounts[addr]
+	if !ok {
+		return
+	}
+	delete(s.accounts, addr)
+	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
+		st.accounts[addr] = acc
+	}})
+}
+
 // StorageSize implements evm.StateDB.
 func (s *State) StorageSize(addr types.Address) int {
 	if acc, ok := s.accounts[addr]; ok {

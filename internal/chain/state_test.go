@@ -77,6 +77,45 @@ func TestSnapshotRevert(t *testing.T) {
 	}
 }
 
+func TestDeleteAccountPurgesAndReverts(t *testing.T) {
+	s := NewState()
+	s.AddBalance(addrA, evm.WordFromUint64(100))
+	s.SetNonce(addrA, 4)
+	s.SetCode(addrA, []byte{0xfe})
+	s.SetState(addrA, evm.WordFromUint64(1), evm.WordFromUint64(42))
+	s.DiscardJournal()
+
+	snap := s.Snapshot()
+	s.DeleteAccount(addrA)
+	if s.Exist(addrA) {
+		t.Fatal("deleted account must not exist")
+	}
+	if s.GetNonce(addrA) != 0 || s.GetCode(addrA) != nil || s.StorageSize(addrA) != 0 {
+		t.Fatal("deleted account must leave no nonce, code or storage behind")
+	}
+
+	s.RevertToSnapshot(snap)
+	if !s.Exist(addrA) {
+		t.Fatal("revert must restore the deleted account")
+	}
+	if got := s.GetBalance(addrA).Uint64(); got != 100 {
+		t.Errorf("restored balance = %d, want 100", got)
+	}
+	if s.GetNonce(addrA) != 4 || len(s.GetCode(addrA)) != 1 {
+		t.Error("restored nonce/code wrong")
+	}
+	if got := s.GetState(addrA, evm.WordFromUint64(1)).Uint64(); got != 42 {
+		t.Errorf("restored storage slot = %d, want 42", got)
+	}
+
+	// Deleting a missing account is a no-op and journals nothing.
+	pre := s.Snapshot()
+	s.DeleteAccount(addrB)
+	if s.Snapshot() != pre {
+		t.Error("deleting a missing account must not journal")
+	}
+}
+
 func TestNestedSnapshots(t *testing.T) {
 	s := NewState()
 	s.AddBalance(addrA, evm.WordFromUint64(10))

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ethpart/internal/graph"
+	"ethpart/internal/opsim"
 	"ethpart/internal/sim"
 	"ethpart/internal/stats"
 	"ethpart/internal/trace"
@@ -66,7 +67,8 @@ type Dataset struct {
 	Params Params
 	GT     *sim.GeneratedTrace
 
-	cache map[simKey]*sim.Result
+	cache    map[simKey]*sim.Result
+	opsCache map[opsKey]*opsim.Result
 }
 
 type simKey struct {
@@ -86,7 +88,12 @@ func NewDataset(p Params) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating dataset: %w", err)
 	}
-	return &Dataset{Params: p, GT: gt, cache: make(map[simKey]*sim.Result)}, nil
+	return &Dataset{
+		Params:   p,
+		GT:       gt,
+		cache:    make(map[simKey]*sim.Result),
+		opsCache: make(map[opsKey]*opsim.Result),
+	}, nil
 }
 
 // configFor is the simulation configuration for method at k shards using

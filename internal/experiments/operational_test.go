@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"ethpart/internal/shardchain"
+	"ethpart/internal/sim"
+)
+
+func TestOperationalCoversMatrixAndCaches(t *testing.T) {
+	ds := testDataset(t)
+	rows, err := ds.Operational(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sim.Methods()) * len(Models()); len(rows) != want {
+		t.Fatalf("rows = %d, want %d (methods × models)", len(rows), want)
+	}
+	seen := map[opsKey]bool{}
+	for _, row := range rows {
+		key := opsKey{row.Method, row.Model, row.K}
+		if seen[key] {
+			t.Errorf("duplicate row %v/%v", row.Method, row.Model)
+		}
+		seen[key] = true
+		if row.Result == nil || len(row.Result.Windows) == 0 {
+			t.Fatalf("%v/%v: empty result", row.Method, row.Model)
+		}
+		if row.Result.Totals.Failed != 0 {
+			t.Errorf("%v/%v: %d failed txs", row.Method, row.Model, row.Result.Totals.Failed)
+		}
+	}
+	// Second call must serve from the cache (same pointers).
+	again, err := ds.Operational(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i].Result != again[i].Result {
+			t.Fatalf("row %d not cached", i)
+		}
+	}
+
+	// The operational ordering mirrors the cut ordering: under receipts,
+	// METIS must beat hashing on messages, the paper's claim end to end.
+	byKey := map[opsKey]*OperationalRow{}
+	for i := range rows {
+		byKey[opsKey{rows[i].Method, rows[i].Model, rows[i].K}] = &rows[i]
+	}
+	hash := byKey[opsKey{sim.MethodHash, shardchain.ModelReceipts, 2}]
+	metis := byKey[opsKey{sim.MethodMetis, shardchain.ModelReceipts, 2}]
+	if metis.Result.Totals.Messages >= hash.Result.Totals.Messages {
+		t.Errorf("metis messages %d not below hash %d",
+			metis.Result.Totals.Messages, hash.Result.Totals.Messages)
+	}
+}

@@ -175,7 +175,7 @@ func (g *Graph) newRowBlock() []halfEdge {
 	}
 	lo := len(g.arena)
 	g.arena = g.arena[:lo+rowBlockCap]
-	return g.arena[lo:lo:lo+rowBlockCap]
+	return g.arena[lo : lo : lo+rowBlockCap]
 }
 
 // denseIDLimit bounds the dense VertexID->slot table: 2^22 IDs cost at most

@@ -1,0 +1,408 @@
+// Package opsim is the operational co-simulation bridge: it replays a
+// generated workload's interaction records through a live
+// shardchain.ShardChain while a sim.Simulator consumes the same records in
+// lockstep. The simulator supplies placement (first-seen accounts are homed
+// by its method's rule) and fires its repartitioning policy; every
+// repartition is translated into real work on the chain — a batch of state
+// migrations under shardchain.ModelMigration, or a re-homing of future
+// placements under shardchain.ModelReceipts, where existing state stays put
+// and only accounts that have not materialised yet follow the new
+// assignment.
+//
+// The result is the measurement layer the paper declined to build: for each
+// of the five methods under both multi-shard models, the abstract edge-cut
+// curve of Fig. 3 gains an operational twin — cross-shard messages,
+// settlement latency, migrated storage slots and failed transactions per
+// four-hour window.
+//
+// Fidelity notes: records are replayed as plain value transfers (contract
+// code is not installed, so receipts settle value without continuations),
+// values are clamped so a flat per-account funding covers any history, and
+// contracts materialise their end-of-history storage footprint as synthetic
+// slots so migration costs are visible in moved state, not just move
+// counts.
+package opsim
+
+import (
+	"fmt"
+	"time"
+
+	"ethpart/internal/chain"
+	"ethpart/internal/evm"
+	"ethpart/internal/graph"
+	"ethpart/internal/shardchain"
+	"ethpart/internal/sim"
+	"ethpart/internal/trace"
+	"ethpart/internal/types"
+)
+
+// Config parameterises a co-simulation run.
+type Config struct {
+	// Sim is the simulator configuration: method, shard count, window and
+	// repartitioning policy. Its Window also paces the operational windows
+	// so the two curves align (zero fields take the simulator defaults).
+	Sim sim.Config
+	// Model is the multi-shard handling class of the live chain.
+	Model shardchain.Model
+	// Chain configures the per-shard chains (zero value → defaults).
+	Chain chain.Config
+	// Fund is the balance credited to every first-seen account (zero →
+	// 1<<50, ample for any clamped-value history).
+	Fund evm.Word
+	// MaxValue clamps per-record transfer values (zero → 1e6) so funding
+	// always covers a sender's lifetime of transfers.
+	MaxValue uint64
+	// MaxSettleSteps bounds the empty blocks stepped at the end of the run
+	// to drain in-flight receipts (zero → 64).
+	MaxSettleSteps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sim.K <= 0 {
+		c.Sim.K = 2
+	}
+	if c.Sim.Window <= 0 {
+		c.Sim.Window = 4 * time.Hour
+	}
+	if c.Chain.BlockGasLimit == 0 {
+		c.Chain = chain.DefaultConfig()
+	}
+	if c.Fund.IsZero() {
+		c.Fund = evm.WordFromUint64(1 << 50)
+	}
+	if c.MaxValue == 0 {
+		c.MaxValue = 1_000_000
+	}
+	if c.MaxSettleSteps <= 0 {
+		c.MaxSettleSteps = 64
+	}
+	return c
+}
+
+// WindowStat is one operational data point: what the chain did during one
+// metric window, alongside the simulator's dynamic cut for the same window.
+type WindowStat struct {
+	Start time.Time
+	// Interactions is the number of records replayed in the window.
+	Interactions int64
+	// LocalTxs and CrossTxs split executed transactions by locality.
+	LocalTxs, CrossTxs int64
+	// Messages counts cross-shard messages (receipts and state transfers).
+	Messages int64
+	// ReceiptsSettled and SettlementBlocks measure settlement latency:
+	// mean latency is SettlementBlocks/ReceiptsSettled.
+	ReceiptsSettled  int64
+	SettlementBlocks int64
+	// Migrations and MigratedSlots count account moves and relocated
+	// storage.
+	Migrations    int64
+	MigratedSlots int64
+	// Failed counts transactions rejected by validation.
+	Failed int64
+	// DynamicCut is the simulator's cross-shard fraction for the same
+	// window — the abstract curve the operational numbers shadow.
+	DynamicCut float64
+}
+
+// MeanSettlement returns the window's mean settlement latency in blocks
+// (zero when nothing settled).
+func (w WindowStat) MeanSettlement() float64 {
+	if w.ReceiptsSettled == 0 {
+		return 0
+	}
+	return float64(w.SettlementBlocks) / float64(w.ReceiptsSettled)
+}
+
+// Result is the outcome of a co-simulation run.
+type Result struct {
+	Method sim.Method
+	Model  shardchain.Model
+	K      int
+	// Windows are the per-window operational stats, aligned with Sim.Windows.
+	Windows []WindowStat
+	// Totals are the chain's whole-run counters.
+	Totals shardchain.Stats
+	// Replayed counts the records driven through the chain.
+	Replayed int64
+	// Sim is the lockstep simulator's result (the dynamic-cut curves).
+	Sim *sim.Result
+}
+
+// MeanSettlement returns the run-level mean settlement latency in blocks.
+func (r *Result) MeanSettlement() float64 {
+	if r.Totals.ReceiptsSettled == 0 {
+		return 0
+	}
+	return float64(r.Totals.SettlementBlocks) / float64(r.Totals.ReceiptsSettled)
+}
+
+// CrossFraction returns the executed cross-shard transaction fraction.
+func (r *Result) CrossFraction() float64 {
+	total := r.Totals.LocalTxs + r.Totals.CrossTxs
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Totals.CrossTxs) / float64(total)
+}
+
+// move is one collected assignment change from a repartition batch.
+type move struct {
+	v  graph.VertexID
+	to int
+}
+
+// runner holds the live state of one co-simulation.
+type runner struct {
+	cfg Config
+	gt  *sim.GeneratedTrace
+	s   *sim.Simulator
+	sc  *shardchain.ShardChain
+
+	pendingMoves []move
+	pendingTxs   []*chain.Transaction
+	curBlock     uint64
+	haveBlock    bool
+
+	seen   []bool // vertex ID → funded/materialised on the chain
+	nonces map[types.Address]uint64
+
+	winStart  time.Time
+	started   bool
+	lastStats shardchain.Stats
+	res       *Result
+}
+
+// Run replays gt through a live sharded chain under cfg.
+func Run(gt *sim.GeneratedTrace, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Sim.StorageSlots == nil {
+		cfg.Sim.StorageSlots = gt.StorageSlots
+	}
+	r := &runner{
+		cfg:    cfg,
+		gt:     gt,
+		seen:   make([]bool, gt.Registry.Len()),
+		nonces: make(map[types.Address]uint64),
+	}
+	simCfg := cfg.Sim
+	userMove := simCfg.OnMove
+	simCfg.OnMove = func(v graph.VertexID, from, to int) {
+		if userMove != nil {
+			userMove(v, from, to)
+		}
+		r.pendingMoves = append(r.pendingMoves, move{v, to})
+	}
+	s, err := sim.New(simCfg)
+	if err != nil {
+		return nil, fmt.Errorf("opsim: %w", err)
+	}
+	r.s = s
+	sc, err := shardchain.New(shardchain.Config{
+		K: cfg.Sim.K, Model: cfg.Model, Chain: cfg.Chain,
+	}, nil, r.assignOf)
+	if err != nil {
+		return nil, fmt.Errorf("opsim: %w", err)
+	}
+	r.sc = sc
+	r.res = &Result{Method: simCfg.Method, Model: cfg.Model, K: cfg.Sim.K}
+	return r.run()
+}
+
+// assignOf homes first-seen chain accounts by the simulator's live
+// assignment — the bridge's placement rule.
+func (r *runner) assignOf(a types.Address) (int, bool) {
+	id, ok := r.gt.Registry.Lookup(a)
+	if !ok {
+		return 0, false
+	}
+	return r.s.Assignment().ShardOf(graph.VertexID(id))
+}
+
+func (r *runner) run() (*Result, error) {
+	for _, rec := range r.gt.Records {
+		if err := r.processRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+	r.flushBlock()
+	// Drain in-flight receipts with empty blocks; their settlements land in
+	// the final window.
+	for i := 0; i < r.cfg.MaxSettleSteps && r.sc.PendingReceipts() > 0; i++ {
+		r.sc.Step(nil)
+	}
+	if r.started {
+		r.closeWindow()
+	}
+	r.res.Totals = r.sc.Stats()
+	r.res.Sim = r.s.Finish()
+	// Join the simulator's dynamic-cut curve onto the operational windows.
+	cuts := make(map[int64]float64, len(r.res.Sim.Windows))
+	for _, w := range r.res.Sim.Windows {
+		cuts[w.Start.Unix()] = w.DynamicCut
+	}
+	for i := range r.res.Windows {
+		r.res.Windows[i].DynamicCut = cuts[r.res.Windows[i].Start.Unix()]
+	}
+	return r.res, nil
+}
+
+// processRecord advances the co-simulation by one interaction record.
+func (r *runner) processRecord(rec trace.Record) error {
+	t := time.Unix(rec.Time, 0).UTC()
+	if !r.started {
+		r.winStart = t.Truncate(r.cfg.Sim.Window)
+		r.started = true
+	}
+	// A record in a new block seals the previous one; a record in a new
+	// window then closes the window (block timestamps are per-block, so a
+	// window boundary always falls on a block boundary).
+	if !r.haveBlock || rec.Block != r.curBlock {
+		r.flushBlock()
+		r.curBlock, r.haveBlock = rec.Block, true
+	}
+	for t.Sub(r.winStart) >= r.cfg.Sim.Window {
+		r.closeWindow()
+		r.winStart = r.winStart.Add(r.cfg.Sim.Window)
+	}
+
+	// Lockstep: the simulator sees the record first — it places first-seen
+	// vertices and may fire its repartitioning policy at a window boundary.
+	if err := r.s.Process(rec); err != nil {
+		return fmt.Errorf("opsim: %w", err)
+	}
+	if len(r.pendingMoves) > 0 {
+		if err := r.applyMoves(); err != nil {
+			return err
+		}
+	}
+
+	// Then the chain replays the same record as a transaction.
+	from, ok := r.gt.Registry.Address(rec.From)
+	if !ok {
+		return fmt.Errorf("opsim: unknown vertex %d", rec.From)
+	}
+	to, ok := r.gt.Registry.Address(rec.To)
+	if !ok {
+		return fmt.Errorf("opsim: unknown vertex %d", rec.To)
+	}
+	r.materialise(rec.From, from)
+	r.materialise(rec.To, to)
+	value := rec.Value
+	if value > r.cfg.MaxValue {
+		value = r.cfg.MaxValue
+	}
+	toCopy := to
+	r.pendingTxs = append(r.pendingTxs, &chain.Transaction{
+		Nonce: r.nonces[from], From: from, To: &toCopy,
+		Value:    evm.WordFromUint64(value),
+		GasLimit: 50_000, GasPrice: 0,
+	})
+	r.nonces[from]++
+	r.res.Replayed++
+	return nil
+}
+
+// applyMoves translates a repartition batch into chain operations: state
+// migrations under ModelMigration, future re-homings under ModelReceipts.
+//
+// Under ModelReceipts the chain adopts almost none of a repartition: the
+// bridge materialises accounts at first sight, so by the time a policy
+// fires, every moved vertex already has live state somewhere and Rehome
+// (correctly) refuses to strand it. That is the receipts model's defining
+// limitation made visible — a partition improvement can only reach accounts
+// that do not exist yet — and it is why the joined DynamicCut (the
+// simulator's assignment) and the chain's CrossTxs fraction diverge for
+// repartitioning methods under receipts. The gap between the two columns
+// *is* the measurement, not an error; under ModelMigration they track.
+func (r *runner) applyMoves() error {
+	for _, mv := range r.pendingMoves {
+		addr, ok := r.gt.Registry.Address(uint64(mv.v))
+		if !ok {
+			return fmt.Errorf("opsim: repartition moved unknown vertex %d", mv.v)
+		}
+		var err error
+		if r.cfg.Model == shardchain.ModelMigration {
+			_, err = r.sc.MigrateAccount(addr, mv.to)
+		} else {
+			_, err = r.sc.Rehome(addr, mv.to)
+		}
+		if err != nil {
+			return fmt.Errorf("opsim: applying repartition: %w", err)
+		}
+	}
+	r.pendingMoves = r.pendingMoves[:0]
+	return nil
+}
+
+// materialise funds a first-seen account on its home shard and, for
+// contracts, installs the synthetic storage footprint that makes migration
+// costs visible as moved slots. Record IDs always index into the fully
+// materialised registry, so seen never needs to grow.
+func (r *runner) materialise(id uint64, addr types.Address) {
+	if r.seen[id] {
+		return
+	}
+	r.seen[id] = true
+	st := r.sc.StateOf(r.sc.HomeOf(addr))
+	st.AddBalance(addr, r.cfg.Fund)
+	if r.gt.Registry.IsContract(id) {
+		for i := 0; i < r.cfg.Sim.StorageSlots(graph.VertexID(id)); i++ {
+			st.SetState(addr, evm.WordFromUint64(uint64(i+1)), evm.WordFromUint64(1))
+		}
+	}
+	st.DiscardJournal()
+}
+
+// flushBlock steps the chain with the accumulated block transactions. The
+// runner pre-assigns nonces when it enqueues (a sender can appear several
+// times in one block), so a rejected transaction leaves the tracked nonce
+// ahead of the chain's; resyncing from the chain keeps one failure from
+// cascading into ErrNonceMismatch for every later transaction of that
+// sender.
+func (r *runner) flushBlock() {
+	if len(r.pendingTxs) == 0 {
+		return
+	}
+	receipts := r.sc.Step(r.pendingTxs)
+	for i, receipt := range receipts {
+		if receipt.Success {
+			continue
+		}
+		from := r.pendingTxs[i].From
+		r.nonces[from] = r.sc.StateOf(r.sc.HomeOf(from)).GetNonce(from)
+	}
+	r.pendingTxs = r.pendingTxs[:0]
+}
+
+// closeWindow snapshots the chain's counters into a per-window delta.
+func (r *runner) closeWindow() {
+	cur := r.sc.Stats()
+	d := statsDelta(cur, r.lastStats)
+	r.lastStats = cur
+	r.res.Windows = append(r.res.Windows, WindowStat{
+		Start:            r.winStart,
+		Interactions:     d.LocalTxs + d.CrossTxs + d.Failed,
+		LocalTxs:         d.LocalTxs,
+		CrossTxs:         d.CrossTxs,
+		Messages:         d.Messages,
+		ReceiptsSettled:  d.ReceiptsSettled,
+		SettlementBlocks: d.SettlementBlocks,
+		Migrations:       d.Migrations,
+		MigratedSlots:    d.MigratedSlots,
+		Failed:           d.Failed,
+	})
+}
+
+// statsDelta subtracts prev from cur fieldwise.
+func statsDelta(cur, prev shardchain.Stats) shardchain.Stats {
+	return shardchain.Stats{
+		LocalTxs:         cur.LocalTxs - prev.LocalTxs,
+		CrossTxs:         cur.CrossTxs - prev.CrossTxs,
+		Messages:         cur.Messages - prev.Messages,
+		ReceiptsSettled:  cur.ReceiptsSettled - prev.ReceiptsSettled,
+		SettlementBlocks: cur.SettlementBlocks - prev.SettlementBlocks,
+		Migrations:       cur.Migrations - prev.Migrations,
+		MigratedSlots:    cur.MigratedSlots - prev.MigratedSlots,
+		Failed:           cur.Failed - prev.Failed,
+	}
+}

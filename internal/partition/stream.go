@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 
@@ -58,14 +59,25 @@ func (l LDG) Partition(c *graph.CSR, k int) ([]int, error) {
 				attract[parts[u]] += float64(w[p])
 			}
 		}
-		best, bestScore := 0, math.Inf(-1)
+		// Stanton–Kliot capacity is a hard constraint: full shards are
+		// excluded from the ranking rather than scored. Scoring them would
+		// flip the sign of the neighbour pull once size exceeds capacity —
+		// (attract+1)·(1−size/cap) goes negative and high attraction ranks
+		// *worse* — inverting the greedy rule exactly when it matters.
+		best, bestScore := -1, math.Inf(-1)
 		for s := 0; s < k; s++ {
+			if float64(sizes[s]) >= capacity {
+				continue
+			}
 			// Neighbour pull scaled by remaining capacity; +1 so isolated
 			// vertices still prefer emptier shards.
 			score := (attract[s] + 1) * (1 - float64(sizes[s])/capacity)
 			if score > bestScore {
 				best, bestScore = s, score
 			}
+		}
+		if best < 0 { // every shard at cap: least-loaded, as in Fennel's fallback
+			best = minIndex(sizes)
 		}
 		parts[v] = best
 		sizes[best]++
@@ -133,7 +145,7 @@ func (f Fennel) Partition(c *graph.CSR, k int) ([]int, error) {
 			}
 		}
 		if best < 0 { // every shard at cap (cannot happen with slack ≥ k/n)
-			best = minIndexF(sizes)
+			best = minIndex(sizes)
 		}
 		parts[v] = best
 		sizes[best]++
@@ -141,7 +153,7 @@ func (f Fennel) Partition(c *graph.CSR, k int) ([]int, error) {
 	return parts, nil
 }
 
-func minIndexF(xs []float64) int {
+func minIndex[T cmp.Ordered](xs []T) int {
 	best := 0
 	for i, x := range xs {
 		if x < xs[best] {

@@ -68,6 +68,58 @@ func TestStreamingBeatsHashOnClusters(t *testing.T) {
 	}
 }
 
+func TestLDGOverfullStreamRespectsHardCapacity(t *testing.T) {
+	// Regression for the capacity sign-flip: on a star stream every vertex
+	// is maximally attracted to the hub's shard, so the greedy rule pushes
+	// one shard toward (and past) its capacity. With the multiplicative
+	// penalty scored instead of enforced, (attract+1)·(1−size/cap) turns
+	// negative past capacity and high attraction ranks worse, inverting the
+	// rule; Stanton–Kliot's capacity is a hard exclusion. Assert the
+	// invariant directly: no vertex is ever placed into a shard that was
+	// already at capacity while another shard had room.
+	g := graph.New()
+	n := 60
+	for v := 1; v < n; v++ {
+		// Heavy star: every vertex interacts with the hub many times.
+		if err := g.AddInteraction(0, graph.VertexID(v),
+			graph.KindContract, graph.KindAccount, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := graph.NewCSR(g)
+	k := 4
+	slack := 0.1
+	parts, err := LDG{Slack: slack}.Partition(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateParts(parts, k); err != nil {
+		t.Fatal(err)
+	}
+	capacity := float64(c.N()) * (1 + slack) / float64(k)
+	sizes := make([]int, k)
+	for i := range c.IDs {
+		s := parts[i]
+		underCapExists := false
+		for _, sz := range sizes {
+			if float64(sz) < capacity {
+				underCapExists = true
+				break
+			}
+		}
+		if underCapExists && float64(sizes[s]) >= capacity {
+			t.Fatalf("vertex %d placed into full shard %d (size %d, cap %.2f) while another shard had room",
+				i, s, sizes[s], capacity)
+		}
+		sizes[s]++
+	}
+	for s, sz := range sizes {
+		if float64(sz) > capacity+1 {
+			t.Errorf("shard %d ended at %d, above capacity %.2f", s, sz, capacity)
+		}
+	}
+}
+
 func TestStreamingRejectBadK(t *testing.T) {
 	c := graph.NewCSR(graph.New())
 	if _, err := (LDG{}).Partition(c, 0); err == nil {

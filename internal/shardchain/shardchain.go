@@ -18,6 +18,24 @@
 // this package exists so that the study's central quantity — the edge-cut —
 // can be observed as what it really is operationally: cross-shard messages,
 // settlement latency and migrated state.
+//
+// # Migration semantics
+//
+// Migrating an account moves its complete state — balance, nonce, code and
+// every storage slot — and then purges the source copy with
+// chain.State.DeleteAccount. The purge is load-bearing for correctness: a
+// partial cleanup (e.g. zeroing only the balance) leaves a ghost account on
+// the source shard whose nonce, code and storage survive, and because
+// storage copies transfer live slots only, a later round-trip migration
+// would resurrect slots that were zeroed while the account lived elsewhere.
+// After a migration the source shard answers Exist == false for the
+// address, exactly as if the account had never been created there.
+//
+// Placement can also be driven externally (by a repartitioner running
+// alongside the chain): MigrateAccount realises a new placement by moving
+// state, while Rehome only redirects accounts whose state has not
+// materialised yet — the receipts-model reaction, where existing state
+// stays put.
 package shardchain
 
 import (
@@ -216,8 +234,21 @@ func (sc *ShardChain) Step(txs []*chain.Transaction) []*chain.Receipt {
 	return receipts
 }
 
-// settle applies one receipt on its destination shard.
+// settle applies one receipt on its destination shard. Receipts are routed
+// to the target's home shard at emit time, but the home can change while
+// the receipt is in flight (an externally driven MigrateAccount or Rehome
+// between emission and delivery); settling on the stale shard would strand
+// the value on a shard that is no longer — or never was — the account's
+// home, resurrecting exactly the ghost state migration purges. So delivery
+// re-checks the home and forwards the receipt (one more message, one more
+// block of latency), like any routed settlement layer.
 func (sc *ShardChain) settle(shardIdx int, r Receipt) {
+	if home := sc.HomeOf(r.To); home != shardIdx {
+		sh := sc.shards[shardIdx]
+		sh.outbox[home] = append(sh.outbox[home], r)
+		sc.stats.Messages++
+		return
+	}
 	st := sc.shards[shardIdx].state
 	st.AddBalance(r.To, r.Value)
 	st.DiscardJournal()
@@ -278,9 +309,17 @@ func (sc *ShardChain) execute(tx *chain.Transaction) *chain.Receipt {
 		if cross {
 			// The sender's shard debits and emits a receipt carrying the
 			// value and calldata; the target shard executes on settlement.
+			// Only the value is debited here (fee plumbing is omitted, see
+			// applyWithHook), so only the value is required — and a nonce
+			// failure is reported as what it is, matching the semantics of
+			// chain.ApplyTransaction.
 			st := sc.shards[senderShard].state
-			total := tx.Value.Add(evm.WordFromUint64(tx.GasLimit * tx.GasPrice))
-			if st.GetBalance(tx.From).Cmp(total) < 0 || st.GetNonce(tx.From) != tx.Nonce {
+			if st.GetNonce(tx.From) != tx.Nonce {
+				sc.stats.Failed++
+				return &chain.Receipt{TxHash: tx.Hash(), Success: false,
+					Err: chain.ErrNonceMismatch}
+			}
+			if st.GetBalance(tx.From).Cmp(tx.Value) < 0 {
 				sc.stats.Failed++
 				return &chain.Receipt{TxHash: tx.Hash(), Success: false,
 					Err: chain.ErrInsufficientFunds}
@@ -317,6 +356,11 @@ func (sc *ShardChain) execute(tx *chain.Transaction) *chain.Receipt {
 }
 
 // migrate moves an account's full state between shards and re-homes it.
+// The source copy is purged entirely (DeleteAccount): zeroing only the
+// balance would leave a ghost account whose nonce, code and stale storage
+// slots survive on the source shard and resurrect on a later round-trip
+// (CopyStorage copies live slots only, so slots zeroed while the account
+// was away would reappear with their old values).
 func (sc *ShardChain) migrate(addr types.Address, from, to int) {
 	src := sc.shards[from].state
 	dst := sc.shards[to].state
@@ -328,7 +372,7 @@ func (sc *ShardChain) migrate(addr types.Address, from, to int) {
 		dst.SetCode(addr, append([]byte(nil), code...))
 	}
 	slots := chain.CopyStorage(src, dst, addr)
-	src.SubBalance(addr, src.GetBalance(addr))
+	src.DeleteAccount(addr)
 	src.DiscardJournal()
 	dst.DiscardJournal()
 
@@ -336,6 +380,73 @@ func (sc *ShardChain) migrate(addr types.Address, from, to int) {
 	sc.stats.Migrations++
 	sc.stats.MigratedSlots += int64(slots)
 	sc.stats.Messages++ // the state transfer itself
+}
+
+// MigrateAccount moves addr's state to shard `to` and re-homes it — the
+// externally driven form of migration a repartitioner uses to realise a new
+// placement under ModelMigration. Accounts the chain has never seen are
+// pre-homed on `to` without a transfer (there is no state to move yet), and
+// a move to the current home is a no-op. It reports whether state moved.
+func (sc *ShardChain) MigrateAccount(addr types.Address, to int) (bool, error) {
+	if to < 0 || to >= sc.cfg.K {
+		return false, fmt.Errorf("shardchain: migrate %v: shard %d out of range [0,%d)", addr, to, sc.cfg.K)
+	}
+	from, known := sc.home[addr]
+	if !known || from == to {
+		sc.home[addr] = to
+		return false, nil
+	}
+	// A homed address whose state never materialised has nothing to move:
+	// re-home it without a transfer. Running migrate() here would fabricate
+	// an empty account on the destination (CreateAccount) and count a
+	// phantom migration and message for moving nothing.
+	if !sc.shards[from].state.Exist(addr) {
+		sc.home[addr] = to
+		return false, nil
+	}
+	sc.migrate(addr, from, to)
+	return true, nil
+}
+
+// Rehome redirects addr's future placement to shard `to` without moving
+// state — the receipts-model reaction to a repartition, where existing
+// state stays put and only not-yet-materialised accounts follow the new
+// assignment. It reports whether the home changed; an account whose state
+// already exists on its current home shard is left alone (re-homing it
+// would strand its balance, nonce and storage).
+func (sc *ShardChain) Rehome(addr types.Address, to int) (bool, error) {
+	if to < 0 || to >= sc.cfg.K {
+		return false, fmt.Errorf("shardchain: rehome %v: shard %d out of range [0,%d)", addr, to, sc.cfg.K)
+	}
+	from, known := sc.home[addr]
+	if known && sc.shards[from].state.Exist(addr) {
+		return false, nil
+	}
+	if known && from == to {
+		return false, nil
+	}
+	sc.home[addr] = to
+	return true, nil
+}
+
+// Known returns addr's current home shard without assigning one.
+func (sc *ShardChain) Known(addr types.Address) (int, bool) {
+	s, ok := sc.home[addr]
+	return s, ok
+}
+
+// PendingReceipts counts cross-shard receipts still in flight (undelivered
+// outboxes plus unsettled inboxes). Drive Step(nil) until it reaches zero
+// to fully settle a run.
+func (sc *ShardChain) PendingReceipts() int {
+	n := 0
+	for _, sh := range sc.shards {
+		n += len(sh.inbox)
+		for _, rs := range sh.outbox {
+			n += len(rs)
+		}
+	}
+	return n
 }
 
 // applyWithHook is chain.ApplyTransaction with a remote hook installed.

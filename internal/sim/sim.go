@@ -102,6 +102,19 @@ type Config struct {
 	// every method, replacing the paper's min-cut/tie-balance rule. Used
 	// only by the placement ablation bench.
 	HashPlacement bool
+
+	// OnPlace, when non-nil, fires the moment a first-seen vertex is
+	// assigned a shard (during the Process call that introduced it).
+	OnPlace func(v graph.VertexID, shard int)
+	// OnMove, when non-nil, fires for every vertex whose shard changes
+	// while a repartition is applied, after the assignment is updated.
+	// Observers driving a live system (see internal/opsim) translate these
+	// into state migrations or re-homings.
+	OnMove func(v graph.VertexID, from, to int)
+	// OnRepartition, when non-nil, fires after a repartition completes,
+	// with the window-boundary time that triggered it and the number of
+	// vertices it moved. It fires after every OnMove of the batch.
+	OnRepartition func(at time.Time, moves int)
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -353,6 +366,9 @@ func (s *Simulator) placeIfNew(v graph.VertexID) (int, error) {
 	if _, _, err := s.assign.Assign(v, shard); err != nil {
 		return 0, err
 	}
+	if s.cfg.OnPlace != nil {
+		s.cfg.OnPlace(v, shard)
+	}
 	return shard, nil
 }
 
@@ -475,6 +491,9 @@ func (s *Simulator) repartition(now time.Time) error {
 	s.winMoves += int64(moves)
 	s.result.TotalMoves += int64(moves)
 	s.result.Repartitions++
+	if s.cfg.OnRepartition != nil {
+		s.cfg.OnRepartition(now, moves)
+	}
 	return nil
 }
 
@@ -504,6 +523,9 @@ func (s *Simulator) applyParts(csr *graph.CSR, parts []int) (int, error) {
 		}
 		if _, _, err := s.assign.Assign(id, parts[i]); err != nil {
 			return moves, fmt.Errorf("sim: applying partition: %w", err)
+		}
+		if ok && s.cfg.OnMove != nil {
+			s.cfg.OnMove(id, old, parts[i])
 		}
 	}
 	s.winSlots += slots

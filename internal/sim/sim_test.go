@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ethpart/internal/evm"
+	"ethpart/internal/graph"
 	"ethpart/internal/trace"
 	"ethpart/internal/workload"
 )
@@ -182,6 +183,76 @@ func TestPeriodicRepartitionFires(t *testing.T) {
 	// After repartitioning the two clusters should be split nearly cleanly.
 	if res.FinalStaticCut > 0.15 {
 		t.Errorf("final static cut = %v, want small after repartitioning", res.FinalStaticCut)
+	}
+}
+
+func TestAssignmentChangeCallbacks(t *testing.T) {
+	// OnPlace fires exactly once per vertex, OnMove exactly once per
+	// repartition move (and mirrors the live assignment), OnRepartition
+	// once per policy firing with the batch's move count.
+	placed := map[graph.VertexID]int{}
+	var moveEvents, repartEvents int
+	var movesSeen int
+	var s *Simulator
+	cfg := Config{
+		Method: MethodMetis, K: 2,
+		Window:           time.Hour,
+		RepartitionEvery: 24 * time.Hour,
+		OnPlace: func(v graph.VertexID, shard int) {
+			if _, dup := placed[v]; dup {
+				t.Errorf("OnPlace fired twice for %d", v)
+			}
+			placed[v] = shard
+		},
+		OnMove: func(v graph.VertexID, from, to int) {
+			moveEvents++
+			if got, ok := s.Assignment().ShardOf(v); !ok || got != to {
+				t.Errorf("OnMove(%d, %d→%d) disagrees with assignment %d,%v", v, from, to, got, ok)
+			}
+		},
+		OnRepartition: func(_ time.Time, moves int) {
+			repartEvents++
+			movesSeen += moves
+		},
+	}
+	var err error
+	s, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	n := int64(0)
+	for day := 0; day < 3; day++ {
+		for hour := 0; hour < 24; hour++ {
+			ts := base + int64(day)*86400 + int64(hour)*3600
+			for j := 0; j < 10; j++ {
+				a := uint64(n % 10)
+				b := uint64((n + 1) % 10)
+				if err := s.Process(rec(ts, a, b)); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Process(rec(ts, 10+a, 10+b)); err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+		}
+	}
+	res := s.Finish()
+	if len(placed) != res.Vertices {
+		t.Errorf("OnPlace fired for %d vertices, graph has %d", len(placed), res.Vertices)
+	}
+	if int64(moveEvents) != res.TotalMoves {
+		t.Errorf("OnMove fired %d times, result counts %d moves", moveEvents, res.TotalMoves)
+	}
+	if repartEvents != res.Repartitions {
+		t.Errorf("OnRepartition fired %d times, result counts %d", repartEvents, res.Repartitions)
+	}
+	if int64(movesSeen) != res.TotalMoves {
+		t.Errorf("OnRepartition move totals %d, result counts %d", movesSeen, res.TotalMoves)
+	}
+	if res.Repartitions == 0 {
+		t.Fatal("test needs at least one repartition to exercise OnMove")
 	}
 }
 

@@ -24,15 +24,28 @@ import (
 func RunSweep(gt *GeneratedTrace, cfgs []Config) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
+	RunIndexed(len(cfgs), func(i int) {
+		results[i], errs[i] = Replay(gt, cfgs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sim: sweep config %d (%v k=%d): %w",
+				i, cfgs[i].Method, cfgs[i].K, err)
+		}
+	}
+	return results, nil
+}
 
+// RunIndexed runs fn for every index in [0, n) across up to GOMAXPROCS
+// workers and waits for completion. It is the indexed worker pool behind
+// RunSweep, exported for sweeps whose work items are not sim.Configs (the
+// operational method×model matrix in internal/experiments uses it for
+// opsim runs).
+func RunIndexed(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cfgs) {
-		workers = len(cfgs)
+	if workers > n {
+		workers = n
 	}
-	if workers < 1 {
-		workers = 1
-	}
-
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -41,20 +54,12 @@ func RunSweep(gt *GeneratedTrace, cfgs []Config) ([]*Result, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(cfgs) {
+				if i >= n {
 					return
 				}
-				results[i], errs[i] = Replay(gt, cfgs[i])
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return results, fmt.Errorf("sim: sweep config %d (%v k=%d): %w",
-				i, cfgs[i].Method, cfgs[i].K, err)
-		}
-	}
-	return results, nil
 }
