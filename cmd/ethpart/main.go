@@ -5,12 +5,14 @@
 // Usage:
 //
 //	ethpart -trace trace.csv -method metis -k 4 [-window 4h] [-repartition 336h]
-//	ethpart ops [-seed 1] [-scale 0.002] [-k 2] [-csv]
+//	ethpart ops [-seed 1] [-scale 0.002] [-k 2] [-csv] [-parallel]
 //
 // The ops subcommand runs the operational co-simulation: every method is
 // replayed through a live sharded chain under both multi-shard models and
 // the edge-cut curves gain operational twins — cross-shard messages,
-// settlement latency, migrated state and failed transactions.
+// settlement latency, migrated state and failed transactions. With
+// -parallel the chain also runs on the parallel per-shard engine
+// (byte-identical results) and the table reports its per-block speedup.
 package main
 
 import (

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"ethpart/internal/experiments"
+	"ethpart/internal/opsim"
+	"ethpart/internal/shardchain"
 	"ethpart/internal/sim"
 	"ethpart/internal/trace"
 	"ethpart/internal/workload"
@@ -55,13 +60,52 @@ func TestOpsValidation(t *testing.T) {
 
 func TestOpsRunsAllMethodsAndModels(t *testing.T) {
 	// A tiny seeded workload through the full method × model matrix, both
-	// output formats.
-	for _, extra := range [][]string{nil, {"-csv"}} {
+	// output formats, on both chain engines (-parallel also cross-checks
+	// parallel totals against serial inside runOps).
+	for _, extra := range [][]string{nil, {"-csv"}, {"-parallel"}, {"-parallel", "-csv"}} {
 		args := append([]string{"-seed", "3", "-scale", "0.0001", "-k", "2",
 			"-repartition", "168h"}, extra...)
 		if err := runOps(args); err != nil {
 			t.Errorf("ops %v: %v", extra, err)
 		}
+	}
+}
+
+func TestOpsCSVGuardsEmptySettlement(t *testing.T) {
+	// Regression: a window with zero settled receipts used to emit NaN
+	// into the CSV; it must emit an empty cell instead.
+	rows := []experiments.OperationalRow{{
+		Method: sim.MethodHash,
+		Model:  shardchain.ModelReceipts,
+		K:      2,
+		Result: &opsim.Result{
+			Method: sim.MethodHash,
+			Model:  shardchain.ModelReceipts,
+			K:      2,
+			Windows: []opsim.WindowStat{
+				{Start: time.Unix(0, 0).UTC(), Interactions: 3}, // nothing settled
+				{Start: time.Unix(14400, 0).UTC(), Interactions: 2,
+					ReceiptsSettled: 2, SettlementBlocks: 3},
+			},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := opsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("CSV contains NaN:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 windows:\n%s", len(lines), out)
+	}
+	if fields := strings.Split(lines[1], ","); fields[7] != "" {
+		t.Errorf("empty-settlement cell = %q, want empty", fields[7])
+	}
+	if fields := strings.Split(lines[2], ","); fields[7] != "1.500" {
+		t.Errorf("settlement cell = %q, want 1.500", fields[7])
 	}
 }
 

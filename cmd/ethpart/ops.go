@@ -14,7 +14,10 @@ import (
 
 // runOps executes the ops subcommand: generate a seeded workload, replay it
 // through a live sharded chain for every method under both multi-shard
-// models, and report per-window and total operational metrics.
+// models, and report per-window and total operational metrics. With
+// -parallel the replay also runs on the parallel per-shard engine and the
+// table gains its per-block speedup over serial (the replayed metrics
+// themselves are byte-identical by construction, and verified to be).
 func runOps(args []string) error {
 	fs := flag.NewFlagSet("ethpart ops", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -24,6 +27,7 @@ func runOps(args []string) error {
 	repartition := fs.Duration("repartition", 14*24*time.Hour, "repartition period")
 	blockInterval := fs.Duration("block", 2*time.Hour, "simulated block interval")
 	csvOut := fs.Bool("csv", false, "emit per-window CSV instead of the summary table")
+	parallel := fs.Bool("parallel", false, "also run the parallel per-shard engine and report its per-block speedup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,25 +50,43 @@ func runOps(args []string) error {
 	if err != nil {
 		return err
 	}
+	var prows []experiments.OperationalRow
+	if *parallel {
+		if prows, err = ds.OperationalParallel(*k); err != nil {
+			return err
+		}
+		// The two engines are byte-identical by contract; hold the CLI to it.
+		for i := range rows {
+			if rows[i].Result.Totals != prows[i].Result.Totals {
+				return fmt.Errorf("ops: parallel engine diverged from serial on %v/%v",
+					rows[i].Method, rows[i].Model)
+			}
+		}
+	}
 	if *csvOut {
+		if *parallel {
+			return opsCSV(os.Stdout, prows)
+		}
 		return opsCSV(os.Stdout, rows)
 	}
 	fmt.Printf("replayed %s interactions × %d method/model runs in %v\n\n",
 		report.FormatCount(int64(len(ds.GT.Records))), len(rows),
 		time.Since(start).Round(time.Millisecond))
-	return opsTable(os.Stdout, rows)
+	return opsTable(os.Stdout, rows, prows)
 }
 
-// opsTable renders the summary matrix: one row per method × model.
-func opsTable(w io.Writer, rows []experiments.OperationalRow) error {
+// opsTable renders the summary matrix: one row per method × model. ms/blk
+// is always the serial engine's per-block cost; when parallel rows are
+// present, par-ms/blk and speedup put the parallel engine beside it.
+func opsTable(w io.Writer, rows, prows []experiments.OperationalRow) error {
 	var out [][]string
-	for _, row := range rows {
+	for i, row := range rows {
 		res := row.Result
 		latency := "-"
 		if res.Totals.ReceiptsSettled > 0 {
 			latency = fmt.Sprintf("%.2f", res.MeanSettlement())
 		}
-		out = append(out, []string{
+		cols := []string{
 			row.Method.String(),
 			row.Model.String(),
 			report.FormatFloat(res.Sim.OverallDynamicCut),
@@ -74,15 +96,31 @@ func opsTable(w io.Writer, rows []experiments.OperationalRow) error {
 			report.FormatCount(res.Totals.Migrations),
 			report.FormatCount(res.Totals.MigratedSlots),
 			report.FormatCount(res.Totals.Failed),
-		})
+		}
+		cols = append(cols, fmt.Sprintf("%.3f", res.MsPerBlock()))
+		if prows != nil {
+			pres := prows[i].Result
+			speedup := "-"
+			if pres.StepNanos > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(res.StepNanos)/float64(pres.StepNanos))
+			}
+			cols = append(cols, fmt.Sprintf("%.3f", pres.MsPerBlock()), speedup)
+		}
+		out = append(out, cols)
 	}
-	return report.Table(w, []string{
+	headers := []string{
 		"method", "model", "dyn-cut", "cross-txs", "messages", "latency(blk)",
-		"migrations", "slots", "failed",
-	}, out)
+		"migrations", "slots", "failed", "ms/blk",
+	}
+	if prows != nil {
+		headers = append(headers, "par-ms/blk", "speedup")
+	}
+	return report.Table(w, headers, out)
 }
 
-// opsCSV emits every window of every run as one CSV stream.
+// opsCSV emits every window of every run as one CSV stream. Windows in
+// which nothing settled leave mean_settlement_blocks empty: the mean of
+// zero settlements is undefined, and the raw quotient used to print NaN.
 func opsCSV(w io.Writer, rows []experiments.OperationalRow) error {
 	headers := []string{
 		"method", "model", "window_start", "interactions", "cross_txs",
@@ -92,6 +130,10 @@ func opsCSV(w io.Writer, rows []experiments.OperationalRow) error {
 	var out [][]string
 	for _, row := range rows {
 		for _, win := range row.Result.Windows {
+			settlement := ""
+			if win.ReceiptsSettled > 0 {
+				settlement = fmt.Sprintf("%.3f", win.MeanSettlement())
+			}
 			out = append(out, []string{
 				row.Method.String(),
 				row.Model.String(),
@@ -100,7 +142,7 @@ func opsCSV(w io.Writer, rows []experiments.OperationalRow) error {
 				strconv.FormatInt(win.CrossTxs, 10),
 				strconv.FormatInt(win.Messages, 10),
 				strconv.FormatInt(win.ReceiptsSettled, 10),
-				fmt.Sprintf("%.3f", win.MeanSettlement()),
+				settlement,
 				strconv.FormatInt(win.Migrations, 10),
 				strconv.FormatInt(win.MigratedSlots, 10),
 				strconv.FormatInt(win.Failed, 10),

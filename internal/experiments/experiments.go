@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"ethpart/internal/graph"
@@ -63,12 +64,32 @@ func (p Params) withDefaults() Params {
 }
 
 // Dataset is a generated history plus cached simulation results.
+//
+// A Dataset is safe for concurrent use: the result caches are guarded by a
+// mutex (fills run outside the lock — the generated trace is only read —
+// so concurrent callers at worst duplicate a replay, never race).
 type Dataset struct {
 	Params Params
 	GT     *sim.GeneratedTrace
 
+	mu       sync.Mutex
 	cache    map[simKey]*sim.Result
 	opsCache map[opsKey]*opsim.Result
+}
+
+// cachedRun returns the cached simulation result for key, if any.
+func (d *Dataset) cachedRun(key simKey) (*sim.Result, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res, ok := d.cache[key]
+	return res, ok
+}
+
+// storeRun caches a simulation result.
+func (d *Dataset) storeRun(key simKey, res *sim.Result) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cache[key] = res
 }
 
 type simKey struct {
@@ -111,14 +132,14 @@ func (d *Dataset) configFor(method sim.Method, k int) sim.Config {
 // the paper's policy parameters.
 func (d *Dataset) Run(method sim.Method, k int) (*sim.Result, error) {
 	key := simKey{method, k}
-	if res, ok := d.cache[key]; ok {
+	if res, ok := d.cachedRun(key); ok {
 		return res, nil
 	}
 	res, err := sim.Replay(d.GT, d.configFor(method, k))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %v k=%d: %w", method, k, err)
 	}
-	d.cache[key] = res
+	d.storeRun(key, res)
 	return res, nil
 }
 
@@ -132,7 +153,7 @@ func (d *Dataset) Prefetch(ks []int) error {
 	var keys []simKey
 	for _, k := range ks {
 		for _, m := range sim.Methods() {
-			if _, ok := d.cache[simKey{m, k}]; ok {
+			if _, ok := d.cachedRun(simKey{m, k}); ok {
 				continue
 			}
 			cfgs = append(cfgs, d.configFor(m, k))
@@ -147,7 +168,7 @@ func (d *Dataset) Prefetch(ks []int) error {
 		return fmt.Errorf("experiments: prefetch: %w", err)
 	}
 	for i, key := range keys {
-		d.cache[key] = results[i]
+		d.storeRun(key, results[i])
 	}
 	return nil
 }

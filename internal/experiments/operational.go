@@ -23,32 +23,53 @@ type OperationalRow struct {
 }
 
 type opsKey struct {
-	method sim.Method
-	model  shardchain.Model
-	k      int
+	method   sim.Method
+	model    shardchain.Model
+	k        int
+	parallel bool
 }
 
 // opsConfigFor is the co-simulation configuration for one cell of the
 // operational matrix.
 func (d *Dataset) opsConfigFor(key opsKey) opsim.Config {
-	return opsim.Config{Sim: d.configFor(key.method, key.k), Model: key.model}
+	return opsim.Config{Sim: d.configFor(key.method, key.k), Model: key.model, Parallel: key.parallel}
+}
+
+// cachedOps returns the cached co-simulation result for key, if any.
+func (d *Dataset) cachedOps(key opsKey) (*opsim.Result, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res, ok := d.opsCache[key]
+	return res, ok
+}
+
+// storeOps caches a co-simulation result.
+func (d *Dataset) storeOps(key opsKey, res *opsim.Result) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.opsCache[key] = res
 }
 
 // OperationalRun returns the (cached) co-simulation result for one
-// method × model at k shards.
+// method × model at k shards on the serial chain engine. It is safe to
+// call concurrently (the caches are mutex-guarded; the trace is only
+// read).
 func (d *Dataset) OperationalRun(method sim.Method, model shardchain.Model, k int) (*opsim.Result, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("experiments: ops: k must be >= 1, got %d", k)
+	return d.operationalRun(opsKey{method, model, k, false})
+}
+
+func (d *Dataset) operationalRun(key opsKey) (*opsim.Result, error) {
+	if key.k < 1 {
+		return nil, fmt.Errorf("experiments: ops: k must be >= 1, got %d", key.k)
 	}
-	key := opsKey{method, model, k}
-	if res, ok := d.opsCache[key]; ok {
+	if res, ok := d.cachedOps(key); ok {
 		return res, nil
 	}
 	res, err := opsim.Run(d.GT, d.opsConfigFor(key))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: ops %v/%v k=%d: %w", method, model, k, err)
+		return nil, fmt.Errorf("experiments: ops %v/%v k=%d: %w", key.method, key.model, key.k, err)
 	}
-	d.opsCache[key] = res
+	d.storeOps(key, res)
 	return res, nil
 }
 
@@ -59,14 +80,26 @@ func (d *Dataset) OperationalRun(method sim.Method, model shardchain.Model, k in
 // and in total. Uncached combinations run in parallel (each co-simulation
 // only reads the shared trace, like sim.RunSweep's replays).
 func (d *Dataset) Operational(k int) ([]OperationalRow, error) {
+	return d.operational(k, false)
+}
+
+// OperationalParallel is Operational on shardchain's parallel per-shard
+// engine: every replayed window and total is byte-identical to
+// Operational's, and the results' Blocks/StepNanos measure what the
+// parallel engine buys per block.
+func (d *Dataset) OperationalParallel(k int) ([]OperationalRow, error) {
+	return d.operational(k, true)
+}
+
+func (d *Dataset) operational(k int, parallel bool) ([]OperationalRow, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("experiments: ops: k must be >= 1, got %d", k)
 	}
 	var missing []opsKey
 	for _, model := range Models() {
 		for _, m := range sim.Methods() {
-			key := opsKey{m, model, k}
-			if _, ok := d.opsCache[key]; !ok {
+			key := opsKey{m, model, k, parallel}
+			if _, ok := d.cachedOps(key); !ok {
 				missing = append(missing, key)
 			}
 		}
@@ -82,13 +115,13 @@ func (d *Dataset) Operational(k int) ([]OperationalRow, error) {
 				return nil, fmt.Errorf("experiments: ops %v/%v k=%d: %w",
 					missing[i].method, missing[i].model, k, err)
 			}
-			d.opsCache[missing[i]] = results[i]
+			d.storeOps(missing[i], results[i])
 		}
 	}
 	var rows []OperationalRow
 	for _, model := range Models() {
 		for _, m := range sim.Methods() {
-			res, err := d.OperationalRun(m, model, k)
+			res, err := d.operationalRun(opsKey{m, model, k, parallel})
 			if err != nil {
 				return nil, err
 			}

@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"sync"
 	"testing"
+	"time"
 
+	"ethpart/internal/opsim"
 	"ethpart/internal/shardchain"
 	"ethpart/internal/sim"
+	"ethpart/internal/workload"
 )
 
 func TestOperationalCoversMatrixAndCaches(t *testing.T) {
@@ -18,7 +22,7 @@ func TestOperationalCoversMatrixAndCaches(t *testing.T) {
 	}
 	seen := map[opsKey]bool{}
 	for _, row := range rows {
-		key := opsKey{row.Method, row.Model, row.K}
+		key := opsKey{method: row.Method, model: row.Model, k: row.K}
 		if seen[key] {
 			t.Errorf("duplicate row %v/%v", row.Method, row.Model)
 		}
@@ -45,12 +49,113 @@ func TestOperationalCoversMatrixAndCaches(t *testing.T) {
 	// METIS must beat hashing on messages, the paper's claim end to end.
 	byKey := map[opsKey]*OperationalRow{}
 	for i := range rows {
-		byKey[opsKey{rows[i].Method, rows[i].Model, rows[i].K}] = &rows[i]
+		byKey[opsKey{method: rows[i].Method, model: rows[i].Model, k: rows[i].K}] = &rows[i]
 	}
-	hash := byKey[opsKey{sim.MethodHash, shardchain.ModelReceipts, 2}]
-	metis := byKey[opsKey{sim.MethodMetis, shardchain.ModelReceipts, 2}]
+	hash := byKey[opsKey{method: sim.MethodHash, model: shardchain.ModelReceipts, k: 2}]
+	metis := byKey[opsKey{method: sim.MethodMetis, model: shardchain.ModelReceipts, k: 2}]
 	if metis.Result.Totals.Messages >= hash.Result.Totals.Messages {
 		t.Errorf("metis messages %d not below hash %d",
 			metis.Result.Totals.Messages, hash.Result.Totals.Messages)
+	}
+}
+
+// tinyDataset is a one-week history small enough to replay through the
+// live chain many times in one test.
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := NewDataset(Params{
+		Seed:  7,
+		Scale: 0.01,
+		Eras: []workload.Era{{
+			Name:          "mini",
+			Start:         time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+			End:           time.Date(2017, 1, 8, 0, 0, 0, 0, time.UTC),
+			TxPerDayStart: 10_000, TxPerDayEnd: 10_000, Kind: workload.GrowthLinear,
+			NewAccountFrac: 0.2, DeploysPerDay: 5,
+			Mix: workload.TxMix{Transfer: 0.6, Token: 0.2, Wallet: 0.1, Crowdsale: 0.05, Game: 0.03, Airdrop: 0.02},
+		}},
+		BlockInterval:    time.Hour,
+		RepartitionEvery: 48 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestOperationalRunConcurrentCallersShareCache(t *testing.T) {
+	// Regression for the cache race: Operational advertises parallel fills,
+	// so concurrent OperationalRun calls (same and different keys) must be
+	// safe — run under -race in CI — and must converge on one cached
+	// result per key.
+	ds := tinyDataset(t)
+	keys := []opsKey{
+		{method: sim.MethodHash, model: shardchain.ModelReceipts, k: 2},
+		{method: sim.MethodHash, model: shardchain.ModelMigration, k: 2},
+		{method: sim.MethodHash, model: shardchain.ModelReceipts, k: 2}, // duplicate on purpose
+		{method: sim.MethodMetis, model: shardchain.ModelReceipts, k: 2},
+	}
+	const callersPerKey = 3
+	results := make([]*opsim.Result, len(keys)*callersPerKey)
+	errs := make([]error, len(results))
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := keys[i%len(keys)]
+			results[i], errs[i] = ds.OperationalRun(key.method, key.model, key.k)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	// After the dust settles the cache serves one pointer per key.
+	for i := range results {
+		key := keys[i%len(keys)]
+		cached, err := ds.OperationalRun(key.method, key.model, key.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached == nil || results[i] == nil {
+			t.Fatalf("caller %d: nil result", i)
+		}
+		if cached.Totals != results[i].Totals {
+			t.Errorf("caller %d: totals diverge from cached result", i)
+		}
+	}
+	if _, err := ds.OperationalRun(sim.MethodHash, shardchain.ModelReceipts, 0); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+func TestOperationalParallelMatchesSerialRows(t *testing.T) {
+	ds := tinyDataset(t)
+	serial, err := ds.Operational(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ds.OperationalParallel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i].Result, parallel[i].Result
+		if s == p {
+			t.Fatalf("row %d: engines share one cache entry", i)
+		}
+		if !p.Parallel || s.Parallel {
+			t.Fatalf("row %d: engine flags wrong", i)
+		}
+		if s.Totals != p.Totals {
+			t.Errorf("row %d (%v/%v): totals diverge: serial %+v, parallel %+v",
+				i, serial[i].Method, serial[i].Model, s.Totals, p.Totals)
+		}
 	}
 }

@@ -55,6 +55,10 @@ type Config struct {
 	// MaxSettleSteps bounds the empty blocks stepped at the end of the run
 	// to drain in-flight receipts (zero → 64).
 	MaxSettleSteps int
+	// Parallel runs the live chain on shardchain's parallel per-shard
+	// engine. The replayed results (windows, totals) are byte-identical to
+	// the serial engine's; only the timing fields differ.
+	Parallel bool
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +130,22 @@ type Result struct {
 	Replayed int64
 	// Sim is the lockstep simulator's result (the dynamic-cut curves).
 	Sim *sim.Result
+	// Parallel records which chain engine ran.
+	Parallel bool
+	// Blocks counts the blocks stepped (including the settle-drain steps)
+	// and StepNanos the wall-clock spent inside ShardChain.Step. They are
+	// measurement, not simulation state: two runs of the same trace agree
+	// on every window and total but not on StepNanos.
+	Blocks    int64
+	StepNanos int64
+}
+
+// MsPerBlock returns the mean wall-clock per block step in milliseconds.
+func (r *Result) MsPerBlock() float64 {
+	if r.Blocks == 0 {
+		return 0
+	}
+	return float64(r.StepNanos) / float64(r.Blocks) / 1e6
 }
 
 // MeanSettlement returns the run-level mean settlement latency in blocks.
@@ -198,13 +218,13 @@ func Run(gt *sim.GeneratedTrace, cfg Config) (*Result, error) {
 	}
 	r.s = s
 	sc, err := shardchain.New(shardchain.Config{
-		K: cfg.Sim.K, Model: cfg.Model, Chain: cfg.Chain,
+		K: cfg.Sim.K, Model: cfg.Model, Chain: cfg.Chain, Parallel: cfg.Parallel,
 	}, nil, r.assignOf)
 	if err != nil {
 		return nil, fmt.Errorf("opsim: %w", err)
 	}
 	r.sc = sc
-	r.res = &Result{Method: simCfg.Method, Model: cfg.Model, K: cfg.Sim.K}
+	r.res = &Result{Method: simCfg.Method, Model: cfg.Model, K: cfg.Sim.K, Parallel: cfg.Parallel}
 	return r.run()
 }
 
@@ -228,7 +248,7 @@ func (r *runner) run() (*Result, error) {
 	// Drain in-flight receipts with empty blocks; their settlements land in
 	// the final window.
 	for i := 0; i < r.cfg.MaxSettleSteps && r.sc.PendingReceipts() > 0; i++ {
-		r.sc.Step(nil)
+		r.step(nil)
 	}
 	if r.started {
 		r.closeWindow()
@@ -363,7 +383,7 @@ func (r *runner) flushBlock() {
 	if len(r.pendingTxs) == 0 {
 		return
 	}
-	receipts := r.sc.Step(r.pendingTxs)
+	receipts := r.step(r.pendingTxs)
 	for i, receipt := range receipts {
 		if receipt.Success {
 			continue
@@ -372,6 +392,16 @@ func (r *runner) flushBlock() {
 		r.nonces[from] = r.sc.StateOf(r.sc.HomeOf(from)).GetNonce(from)
 	}
 	r.pendingTxs = r.pendingTxs[:0]
+}
+
+// step drives one chain block, accounting its wall-clock cost so the
+// serial and parallel engines can be compared per block.
+func (r *runner) step(txs []*chain.Transaction) []*chain.Receipt {
+	start := time.Now()
+	receipts := r.sc.Step(txs)
+	r.res.StepNanos += time.Since(start).Nanoseconds()
+	r.res.Blocks++
+	return receipts
 }
 
 // closeWindow snapshots the chain's counters into a per-window delta.

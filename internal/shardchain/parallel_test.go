@@ -1,0 +1,282 @@
+package shardchain
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ethpart/internal/chain"
+	"ethpart/internal/evm"
+	"ethpart/internal/types"
+	"ethpart/internal/workload"
+)
+
+// enginePair is a serial reference chain and a parallel chain built from
+// identical genesis, model and assignment.
+type enginePair struct {
+	serial, parallel *ShardChain
+}
+
+func newEnginePair(t *testing.T, k int, model Model, alloc map[types.Address]evm.Word, assign func(types.Address) (int, bool)) *enginePair {
+	t.Helper()
+	mk := func(par bool) *ShardChain {
+		sc, err := New(Config{K: k, Model: model, Chain: chain.DefaultConfig(), Parallel: par}, alloc, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	return &enginePair{serial: mk(false), parallel: mk(true)}
+}
+
+// step drives both engines through the same block and requires identical
+// receipts.
+func (p *enginePair) step(t *testing.T, txs []*chain.Transaction) []*chain.Receipt {
+	t.Helper()
+	rs := p.serial.Step(txs)
+	rp := p.parallel.Step(txs)
+	if !reflect.DeepEqual(rs, rp) {
+		t.Fatalf("receipts diverge at block %d:\nserial:   %+v\nparallel: %+v",
+			p.serial.clock, dumpReceipts(rs), dumpReceipts(rp))
+	}
+	return rp
+}
+
+func dumpReceipts(rs []*chain.Receipt) string {
+	out := ""
+	for i, r := range rs {
+		out += fmt.Sprintf("\n  [%d] %+v", i, r)
+	}
+	return out
+}
+
+// requireIdentical pins the full observable state: per-shard state roots
+// and account counts, stats, pending receipts and the home map.
+func (p *enginePair) requireIdentical(t *testing.T) {
+	t.Helper()
+	if p.serial.stats != p.parallel.stats {
+		t.Fatalf("stats diverge:\nserial:   %+v\nparallel: %+v", p.serial.stats, p.parallel.stats)
+	}
+	for s := 0; s < p.serial.cfg.K; s++ {
+		ss, ps := p.serial.StateOf(s), p.parallel.StateOf(s)
+		if ss.AccountCount() != ps.AccountCount() {
+			t.Fatalf("shard %d account counts diverge: %d vs %d", s, ss.AccountCount(), ps.AccountCount())
+		}
+		if ss.Commit() != ps.Commit() {
+			t.Fatalf("shard %d state roots diverge", s)
+		}
+	}
+	if p.serial.PendingReceipts() != p.parallel.PendingReceipts() {
+		t.Fatalf("pending receipts diverge: %d vs %d",
+			p.serial.PendingReceipts(), p.parallel.PendingReceipts())
+	}
+	if !reflect.DeepEqual(p.serial.home, p.parallel.home) {
+		t.Fatalf("home maps diverge:\nserial:   %v\nparallel: %v", p.serial.home, p.parallel.home)
+	}
+}
+
+// TestPropertyParallelStepMatchesSerial is the engine-equivalence property
+// test: for seeded workload slices mixing plain transfers, token calls
+// (storage-writing contract activity, cross-shard continuations under
+// receipts), wallet calls (internal calls that leave the shard — receipts
+// under ModelReceipts, callee migrations and the parallel conflict path
+// under ModelMigration) and mid-run contract creations, the parallel
+// engine's receipts, per-shard states, stats and homes are byte-identical
+// to the serial reference, for both models and k ∈ {2, 4, 8}. Run under
+// -race in CI, it also proves the fan-out is data-race free.
+func TestPropertyParallelStepMatchesSerial(t *testing.T) {
+	for _, model := range []Model{ModelReceipts, ModelMigration} {
+		for _, k := range []int{2, 4, 8} {
+			for seed := int64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%v/k=%d/seed=%d", model, k, seed), func(t *testing.T) {
+					runEngineEquivalence(t, model, k, seed)
+				})
+			}
+		}
+	}
+}
+
+func runEngineEquivalence(t *testing.T, model Model, k int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const nAccounts = 12
+	accounts := make([]types.Address, nAccounts)
+	assignMap := map[types.Address]int{}
+	alloc := map[types.Address]evm.Word{}
+	for i := range accounts {
+		accounts[i] = types.AddressFromSeq(uint64(i + 1))
+		assignMap[accounts[i]] = i % k
+		alloc[accounts[i]] = evm.WordFromUint64(1 << 40)
+	}
+	// The deployer of each contract is the account homed on the contract's
+	// shard; pin the derived contract addresses in the assignment so both
+	// engines home them where their code lives.
+	deployer := accounts[0] // homed on shard 0
+	wallet := types.ContractAddress(deployer, 0)
+	token := types.ContractAddress(deployer, 1)
+	assignMap[wallet] = 0
+	assignMap[token] = 0
+	pair := newEnginePair(t, k, model, alloc, fixedAssign(assignMap))
+
+	nonces := map[types.Address]uint64{}
+	deploy := func(runtime []byte) {
+		tx := &chain.Transaction{
+			Nonce: nonces[deployer], From: deployer,
+			Data: evm.DeployWrapper(runtime), GasLimit: 5_000_000, GasPrice: 0,
+		}
+		nonces[deployer]++
+		for _, r := range pair.step(t, []*chain.Transaction{tx}) {
+			if !r.Success {
+				t.Fatalf("deploy failed: %v", r.Err)
+			}
+		}
+	}
+	deploy(workload.WalletRuntime())
+	deploy(workload.TokenRuntime())
+
+	word := func(b []byte) []byte {
+		w := evm.WordFromBytes(b).Bytes32()
+		return w[:]
+	}
+	for block := 0; block < 8; block++ {
+		var txs []*chain.Transaction
+		for i := 0; i < 10; i++ {
+			from := accounts[rng.Intn(nAccounts)]
+			tx := &chain.Transaction{
+				Nonce: nonces[from], From: from,
+				GasLimit: 500_000, GasPrice: uint64(rng.Intn(2)),
+			}
+			switch roll := rng.Intn(10); {
+			case roll < 5: // plain transfer
+				to := accounts[rng.Intn(nAccounts)]
+				tx.To = &to
+				tx.Value = evm.WordFromUint64(uint64(rng.Intn(1000)))
+			case roll < 7: // token transfer (storage writes, continuations)
+				to := token
+				tx.To = &to
+				recipient := accounts[rng.Intn(nAccounts)]
+				tx.Data = append(word(recipient[:]), word([]byte{byte(rng.Intn(200))})...)
+			case roll < 9: // wallet forward (internal call leaving the shard)
+				to := wallet
+				tx.To = &to
+				tx.Value = evm.WordFromUint64(uint64(1 + rng.Intn(500)))
+				recipient := accounts[rng.Intn(nAccounts)]
+				tx.Data = word(recipient[:])
+			default: // mid-run creation
+				tx.Data = evm.DeployWrapper(workload.TokenRuntime())
+				tx.GasLimit = 5_000_000
+			}
+			nonces[from]++
+			txs = append(txs, tx)
+		}
+		pair.step(t, txs)
+	}
+	// Drain in-flight receipts and compare the final states.
+	for i := 0; i < 16 && pair.serial.PendingReceipts() > 0; i++ {
+		pair.step(t, nil)
+	}
+	pair.requireIdentical(t)
+}
+
+// TestParallelWaveConflictMatchesSerial pins the conflict protocol on a
+// deterministic scenario: a wave-parallel wallet call whose callee lives on
+// another shard must abort, roll back, re-execute serially (migrating the
+// callee) and still produce byte-identical results — with the callee's
+// state moved, not a receipt emitted.
+func TestParallelWaveConflictMatchesSerial(t *testing.T) {
+	a1 := types.AddressFromSeq(1) // shard 0
+	a2 := types.AddressFromSeq(2) // shard 0
+	b1 := types.AddressFromSeq(3) // shard 1
+	b2 := types.AddressFromSeq(4) // shard 1
+	wallet := types.ContractAddress(a1, 0)
+	assign := fixedAssign(map[types.Address]int{a1: 0, a2: 0, b1: 1, b2: 1, wallet: 0})
+	alloc := map[types.Address]evm.Word{
+		a1: evm.WordFromUint64(1 << 30), a2: evm.WordFromUint64(1 << 30),
+		b1: evm.WordFromUint64(1 << 30), b2: evm.WordFromUint64(1 << 30),
+	}
+	pair := newEnginePair(t, 2, ModelMigration, alloc, assign)
+
+	deployTx := &chain.Transaction{
+		Nonce: 0, From: a1, Data: evm.DeployWrapper(workload.WalletRuntime()),
+		GasLimit: 5_000_000, GasPrice: 0,
+	}
+	pair.step(t, []*chain.Transaction{deployTx})
+
+	// One block: local traffic on both shards around a wallet call that
+	// forwards value to b1, whose state lives on shard 1. The wallet call
+	// is wave-parallel (a2 and the wallet share shard 0), so the parallel
+	// engine must hit the conflict path, not a planned barrier.
+	mk := func(nonce uint64, from, to types.Address, v uint64, data []byte) *chain.Transaction {
+		return &chain.Transaction{Nonce: nonce, From: from, To: &to,
+			Value: evm.WordFromUint64(v), Data: data, GasLimit: 500_000, GasPrice: 0}
+	}
+	b1w := evm.WordFromBytes(b1[:]).Bytes32()
+	receipts := pair.step(t, []*chain.Transaction{
+		mk(1, a1, a2, 10, nil),         // shard 0 local
+		mk(0, b2, b1, 20, nil),         // shard 1 local
+		mk(0, a2, wallet, 777, b1w[:]), // conflict: callee b1 is remote
+		mk(2, a1, a2, 30, nil),         // shard 0, after the conflict
+		mk(1, b2, b2, 1, nil),          // shard 1, after the conflict
+	})
+	for i, r := range receipts {
+		if !r.Success {
+			t.Fatalf("tx %d failed: %v", i, r.Err)
+		}
+	}
+	pair.requireIdentical(t)
+
+	st := pair.parallel.Stats()
+	if st.Migrations == 0 {
+		t.Error("remote callee must migrate under ModelMigration")
+	}
+	if st.ReceiptsSettled != 0 || pair.parallel.PendingReceipts() != 0 {
+		t.Errorf("migration model must not emit receipts: settled=%d pending=%d",
+			st.ReceiptsSettled, pair.parallel.PendingReceipts())
+	}
+	if home := pair.parallel.HomeOf(b1); home != 0 {
+		t.Errorf("b1 home = %d, want 0 (migrated to the executing shard)", home)
+	}
+	if got := pair.parallel.BalanceOf(b1).Uint64(); got != (1<<30)+20+777 {
+		t.Errorf("b1 balance = %d, want %d", got, (1<<30)+20+777)
+	}
+	if pair.parallel.StateOf(1).Exist(b1) {
+		t.Error("source shard must not keep b1's state after the callee migration")
+	}
+}
+
+// TestParallelMigrationBarriers pins the serialized migration barrier: a
+// block whose transactions migrate their senders between waves must match
+// the serial engine and actually move state.
+func TestParallelMigrationBarriers(t *testing.T) {
+	accounts := make([]types.Address, 6)
+	assignMap := map[types.Address]int{}
+	alloc := map[types.Address]evm.Word{}
+	for i := range accounts {
+		accounts[i] = types.AddressFromSeq(uint64(i + 1))
+		assignMap[accounts[i]] = i % 3
+		alloc[accounts[i]] = evm.WordFromUint64(1 << 30)
+	}
+	pair := newEnginePair(t, 3, ModelMigration, alloc, fixedAssign(assignMap))
+
+	// Alternate local and cross transfers so waves and barriers interleave.
+	var txs []*chain.Transaction
+	nonces := map[types.Address]uint64{}
+	for i := 0; i < 12; i++ {
+		from := accounts[i%len(accounts)]
+		to := accounts[(i+i%3+1)%len(accounts)]
+		txs = append(txs, &chain.Transaction{
+			Nonce: nonces[from], From: from, To: &to,
+			Value: evm.WordFromUint64(uint64(100 + i)), GasLimit: 50_000, GasPrice: 0,
+		})
+		nonces[from]++
+	}
+	for _, r := range pair.step(t, txs) {
+		if !r.Success {
+			t.Fatalf("transfer failed: %v", r.Err)
+		}
+	}
+	pair.requireIdentical(t)
+	if pair.parallel.Stats().Migrations == 0 {
+		t.Error("cross transfers under ModelMigration must migrate senders")
+	}
+}

@@ -11,7 +11,9 @@
 //   - ModelMigration (state-movement): before executing, every remote
 //     participant's account state is migrated to the executing shard and
 //     the assignment is updated, after which the transaction runs locally —
-//     the dynamic-SMR family.
+//     the dynamic-SMR family. This covers internal calls too: a contract
+//     call that reaches an account homed elsewhere migrates that account to
+//     the executing shard and continues locally, it never emits a receipt.
 //
 // The paper explicitly does not build this layer ("It is not our goal to
 // propose mechanisms for Ethereum to handle multi-shard transactions");
@@ -36,6 +38,14 @@
 // state, while Rehome only redirects accounts whose state has not
 // materialised yet — the receipts-model reaction, where existing state
 // stays put.
+//
+// # Execution engines
+//
+// Config.Parallel selects between two engines that produce byte-identical
+// results (receipts, per-shard states, stats, homes): the serial reference
+// engine, and a parallel engine that runs each block's per-shard work on
+// one worker per shard with cross-shard receipts exchanged at the block
+// barrier (see parallel.go and DESIGN.md §8).
 package shardchain
 
 import (
@@ -99,21 +109,45 @@ type Stats struct {
 	Failed int64
 }
 
+// add accumulates a fieldwise delta.
+func (s *Stats) add(d Stats) {
+	s.LocalTxs += d.LocalTxs
+	s.CrossTxs += d.CrossTxs
+	s.Messages += d.Messages
+	s.ReceiptsSettled += d.ReceiptsSettled
+	s.SettlementBlocks += d.SettlementBlocks
+	s.Migrations += d.Migrations
+	s.MigratedSlots += d.MigratedSlots
+	s.Failed += d.Failed
+}
+
 // Config parameterises the sharded chain.
 type Config struct {
 	K     int
 	Model Model
 	// Chain configures every per-shard chain.
 	Chain chain.Config
+	// Parallel runs every block's per-shard settle and execute work on one
+	// worker per shard (a sim.RunIndexed-shaped pool), with outboxes
+	// exchanged at the block barrier. Results are byte-identical to the
+	// serial engine. When set, any assign callback must be safe for
+	// concurrent calls and must answer deterministically for the duration
+	// of one Step.
+	Parallel bool
 }
 
 // ShardChain is the sharded execution engine.
 //
-// ShardChain is not safe for concurrent use.
+// ShardChain is not safe for concurrent use: Step, MigrateAccount, Rehome
+// and the accessors must be called from one goroutine. With
+// Config.Parallel the parallelism lives *inside* Step, which fans work out
+// to per-shard workers and joins them before returning.
 type ShardChain struct {
 	cfg    Config
 	shards []*shard
-	// home maps every known account to its shard.
+	// home maps every known account to its shard. During a parallel phase
+	// the map is read-only: first-sight placements are resolved purely
+	// (resolveHome) and committed at the next barrier.
 	home map[types.Address]int
 	// assign supplies the partition for first-seen accounts; accounts it
 	// does not know fall back to hash placement.
@@ -128,9 +162,10 @@ type ShardChain struct {
 type shard struct {
 	state *chain.State
 	inbox []Receipt
-	// outbox accumulates receipts emitted while executing the current
-	// block, delivered to peers at the end of Step.
-	outbox map[int][]Receipt
+	// outbox[dst] accumulates receipts emitted for shard dst while
+	// executing the current block; delivered to peers at the block barrier
+	// in canonical (source-shard, emission-order) order.
+	outbox [][]Receipt
 }
 
 // New builds a sharded chain with k shards under the given model. The
@@ -153,7 +188,7 @@ func New(cfg Config, alloc map[types.Address]evm.Word, assign func(types.Address
 	for i := range sc.shards {
 		sc.shards[i] = &shard{
 			state:  chain.NewState(),
-			outbox: make(map[int][]Receipt),
+			outbox: make([][]Receipt, cfg.K),
 		}
 	}
 	for addr, bal := range alloc {
@@ -164,6 +199,22 @@ func New(cfg Config, alloc map[types.Address]evm.Word, assign func(types.Address
 	return sc, nil
 }
 
+// resolveHome computes the first-sight placement of addr without touching
+// the home map: the configured partition decides when it knows the
+// address, otherwise placement falls back to a hash of the address. It is
+// the pure half of HomeOf — parallel workers call it where writing the map
+// would race, and the resolved pairs are committed at the next barrier.
+// Within one Step it is a pure function of the address (the assignment
+// callback must not change mid-block), so resolution order cannot matter.
+func (sc *ShardChain) resolveHome(addr types.Address) int {
+	if sc.assign != nil {
+		if a, ok := sc.assign(addr); ok && a >= 0 && a < sc.cfg.K {
+			return a
+		}
+	}
+	return hashShard(addr, sc.cfg.K)
+}
+
 // HomeOf returns the current home shard of addr, assigning one on first
 // sight: the configured partition decides when it knows the address,
 // otherwise placement falls back to a hash of the address.
@@ -171,15 +222,7 @@ func (sc *ShardChain) HomeOf(addr types.Address) int {
 	if s, ok := sc.home[addr]; ok {
 		return s
 	}
-	s := -1
-	if sc.assign != nil {
-		if a, ok := sc.assign(addr); ok && a >= 0 && a < sc.cfg.K {
-			s = a
-		}
-	}
-	if s < 0 {
-		s = hashShard(addr, sc.cfg.K)
-	}
+	s := sc.resolveHome(addr)
 	sc.home[addr] = s
 	return s
 }
@@ -205,60 +248,141 @@ func hashShard(addr types.Address, k int) int {
 	return int(h % uint32(k))
 }
 
-// Step executes one global block: it settles every shard's pending inbox,
-// executes the given transactions, and delivers newly emitted receipts.
-// Transactions execute on the home shard of their target (creation
-// transactions on the sender's shard).
-func (sc *ShardChain) Step(txs []*chain.Transaction) []*chain.Receipt {
-	sc.clock++
-	// Phase 1: settle inboxes (receipts emitted in earlier blocks).
-	for i, sh := range sc.shards {
-		inbox := sh.inbox
-		sh.inbox = nil
-		for _, r := range inbox {
-			sc.settle(i, r)
-		}
-	}
-	// Phase 2: execute this block's transactions.
-	var receipts []*chain.Receipt
-	for _, tx := range txs {
-		receipts = append(receipts, sc.execute(tx))
-	}
-	// Phase 3: deliver outboxes.
-	for _, sh := range sc.shards {
-		for dst, rs := range sh.outbox {
-			sc.shards[dst].inbox = append(sc.shards[dst].inbox, rs...)
-			delete(sh.outbox, dst)
-		}
-	}
-	return receipts
+// emission is one receipt headed for a destination shard.
+type emission struct {
+	dst int
+	r   Receipt
 }
 
-// settle applies one receipt on its destination shard. Receipts are routed
-// to the target's home shard at emit time, but the home can change while
-// the receipt is in flight (an externally driven MigrateAccount or Rehome
+// effects collects the side effects of one unit of work — a receipt
+// settlement or a transaction — so the serial and parallel engines can run
+// the identical item code and differ only in when effects land: applied
+// immediately after the item (serial), or buffered and merged at the next
+// barrier in item order (parallel).
+type effects struct {
+	out   []emission
+	stats Stats
+}
+
+func (e *effects) emit(dst int, r Receipt) { e.out = append(e.out, emission{dst, r}) }
+
+// applyEffects lands one item's buffered effects: emissions are appended
+// to the owning shard's per-destination outbox, stat deltas to the chain
+// counters.
+func (sc *ShardChain) applyEffects(src int, eff *effects) {
+	sh := sc.shards[src]
+	for _, em := range eff.out {
+		sh.outbox[em.dst] = append(sh.outbox[em.dst], em.r)
+	}
+	sc.stats.add(eff.stats)
+}
+
+// homes is an engine's view of the account→shard map during a phase. The
+// serial engine commits first-sight placements immediately; parallel
+// workers (record mode) resolve them read-only and remember the pairs so
+// the coordinator can commit them at the barrier.
+type homes struct {
+	sc     *ShardChain
+	record bool
+	seen   []homePair
+}
+
+type homePair struct {
+	addr  types.Address
+	shard int
+}
+
+func (h *homes) of(addr types.Address) int {
+	if !h.record {
+		return h.sc.HomeOf(addr)
+	}
+	if s, ok := h.sc.home[addr]; ok {
+		return s
+	}
+	s := h.sc.resolveHome(addr)
+	h.seen = append(h.seen, homePair{addr, s})
+	return s
+}
+
+// commitHomes lands first-sight resolutions recorded by parallel workers.
+// An address may have been resolved by several workers (same pure value)
+// or already committed by a serialized path; existing entries win.
+func (sc *ShardChain) commitHomes(pairs []homePair) {
+	for _, p := range pairs {
+		if _, ok := sc.home[p.addr]; !ok {
+			sc.home[p.addr] = p.shard
+		}
+	}
+}
+
+// onRemoteCallee is the migration-model reaction to an internal call whose
+// callee is homed on another shard: the serial engine migrates the callee
+// inline and continues, parallel workers abort the item instead (conflict
+// protocol, see parallel.go). calleeHome is the callee's current home.
+type onRemoteCallee func(to types.Address, calleeHome int)
+
+// hookFor returns the RemoteHook for internal calls that leave shard s.
+// Under ModelReceipts the call is diverted into a cross-shard receipt.
+// Under ModelMigration the callee is brought to the executing shard (via
+// onRemote) and the call continues locally — never a receipt, matching the
+// model's contract that every remote participant's state is migrated.
+func (sc *ShardChain) hookFor(s int, h *homes, eff *effects, onRemote onRemoteCallee) evm.RemoteHook {
+	return func(from, to types.Address, value evm.Word, input []byte) bool {
+		dst := h.of(to)
+		if dst == s {
+			return false // local: execute normally
+		}
+		if sc.cfg.Model == ModelMigration {
+			onRemote(to, dst)
+			return false // callee is local now: execute normally
+		}
+		eff.emit(dst, Receipt{
+			From: from, To: to, Value: value,
+			Input: append([]byte(nil), input...),
+			Born:  sc.clock,
+		})
+		eff.stats.Messages++
+		return true
+	}
+}
+
+// migrateCallee brings an internal call's remote callee to the executing
+// shard exec: a materialised callee migrates with its full state; one that
+// has no state anywhere is simply re-homed (moving nothing would fabricate
+// an empty account and count a phantom migration, as MigrateAccount also
+// refuses to do). Serial contexts only.
+func (sc *ShardChain) migrateCallee(to types.Address, calleeHome, exec int, eff *effects) {
+	if sc.shards[calleeHome].state.Exist(to) {
+		sc.migrateInto(to, calleeHome, exec, &eff.stats)
+	} else {
+		sc.home[to] = exec
+	}
+}
+
+// settleOne applies one receipt on shard s. Receipts are routed to the
+// target's home shard at emit time, but the home can change while the
+// receipt is in flight (an externally driven MigrateAccount or Rehome
 // between emission and delivery); settling on the stale shard would strand
 // the value on a shard that is no longer — or never was — the account's
 // home, resurrecting exactly the ghost state migration purges. So delivery
 // re-checks the home and forwards the receipt (one more message, one more
 // block of latency), like any routed settlement layer.
-func (sc *ShardChain) settle(shardIdx int, r Receipt) {
-	if home := sc.HomeOf(r.To); home != shardIdx {
-		sh := sc.shards[shardIdx]
-		sh.outbox[home] = append(sh.outbox[home], r)
-		sc.stats.Messages++
+func (sc *ShardChain) settleOne(s int, r Receipt, h *homes, eff *effects, onRemote onRemoteCallee) {
+	if home := h.of(r.To); home != s {
+		eff.emit(home, r)
+		eff.stats.Messages++
 		return
 	}
-	st := sc.shards[shardIdx].state
+	st := sc.shards[s].state
 	st.AddBalance(r.To, r.Value)
 	st.DiscardJournal()
-	sc.stats.ReceiptsSettled++
-	sc.stats.SettlementBlocks += int64(sc.clock - r.Born)
+	eff.stats.ReceiptsSettled++
+	eff.stats.SettlementBlocks += int64(sc.clock - r.Born)
 	// A receipt carrying input against a contract triggers its code —
 	// the "continuation" of the cross-shard call.
 	if code := st.GetCode(r.To); len(code) > 0 {
 		vm := evm.New(st)
-		vm.SetRemoteHook(sc.hookFor(shardIdx))
+		vm.SetRemoteHook(sc.hookFor(s, h, eff, onRemote))
 		// Continuation gas is bounded; failures are absorbed (the value
 		// has already moved, as in asynchronous designs).
 		_, _, _ = vm.Call(r.From, r.To, evm.Word{}, r.Input, 2_000_000)
@@ -266,102 +390,187 @@ func (sc *ShardChain) settle(shardIdx int, r Receipt) {
 	}
 }
 
-// hookFor returns the RemoteHook that diverts calls leaving shardIdx into
-// receipts.
-func (sc *ShardChain) hookFor(shardIdx int) evm.RemoteHook {
-	return func(from, to types.Address, value evm.Word, input []byte) bool {
-		dst := sc.HomeOf(to)
-		if dst == shardIdx {
-			return false // local: execute normally
-		}
-		sh := sc.shards[shardIdx]
-		sh.outbox[dst] = append(sh.outbox[dst], Receipt{
-			From: from, To: to, Value: value,
-			Input: append([]byte(nil), input...),
-			Born:  sc.clock,
-		})
-		sc.stats.Messages++
-		return true
+// execShardOf is where tx executes: the home of its target, or of its
+// sender for creation transactions.
+func (sc *ShardChain) execShardOf(tx *chain.Transaction, h *homes) int {
+	if tx.IsCreate() {
+		return h.of(tx.From)
 	}
+	return h.of(*tx.To)
 }
 
-// execute runs one transaction under the configured model.
-func (sc *ShardChain) execute(tx *chain.Transaction) *chain.Receipt {
-	// The executing shard: the target's home (sender's home for creates).
-	var execShard int
-	if tx.IsCreate() {
-		execShard = sc.HomeOf(tx.From)
+// crossEmit is the receipts-model cross path, run on the sender's shard:
+// the sender is debited and a receipt carrying the value and calldata is
+// emitted; the target shard executes on settlement. Only the value is
+// debited here (fee plumbing is omitted, see runLocal), so only the value
+// is required — and a nonce failure is reported as what it is, matching
+// the semantics of chain.ApplyTransaction.
+// retain keeps the state journal (parallel waves; see runLocal).
+func (sc *ShardChain) crossEmit(sender, exec int, tx *chain.Transaction, eff *effects, retain bool) *chain.Receipt {
+	st := sc.shards[sender].state
+	if st.GetNonce(tx.From) != tx.Nonce {
+		eff.stats.Failed++
+		return &chain.Receipt{TxHash: tx.Hash(), Success: false,
+			Err: chain.ErrNonceMismatch}
+	}
+	if st.GetBalance(tx.From).Cmp(tx.Value) < 0 {
+		eff.stats.Failed++
+		return &chain.Receipt{TxHash: tx.Hash(), Success: false,
+			Err: chain.ErrInsufficientFunds}
+	}
+	st.SubBalance(tx.From, tx.Value)
+	st.SetNonce(tx.From, tx.Nonce+1)
+	if !retain {
+		st.DiscardJournal()
+	}
+	eff.emit(exec, Receipt{
+		From: tx.From, To: *tx.To, Value: tx.Value,
+		Input: append([]byte(nil), tx.Data...),
+		Born:  sc.clock,
+	})
+	eff.stats.Messages++
+	eff.stats.CrossTxs++
+	return &chain.Receipt{TxHash: tx.Hash(), Success: true}
+}
+
+// runLocal executes tx on shard s with the cross-shard hook armed for
+// internal calls that leave the shard. By the time a transaction reaches
+// local execution it counts as local: receipts-model cross transactions
+// took the crossEmit path, migration-model ones were made local by moving
+// the sender first. retain keeps the state journal for the parallel
+// engine's conflict rollback (content-identical either way). The miner fee
+// plumbing is omitted: shardchain measures message and migration costs,
+// not fee flows.
+func (sc *ShardChain) runLocal(s int, tx *chain.Transaction, h *homes, eff *effects, onRemote onRemoteCallee, retain bool) *chain.Receipt {
+	st := sc.shards[s].state
+	hook := sc.hookFor(s, h, eff, onRemote)
+	var receipt *chain.Receipt
+	var err error
+	if retain {
+		receipt, err = chain.ApplyTransactionRetained(st, tx, types.Address{}, hook)
 	} else {
-		execShard = sc.HomeOf(*tx.To)
+		receipt, err = chain.ApplyTransactionHooked(st, tx, types.Address{}, hook)
 	}
-	senderShard := sc.HomeOf(tx.From)
-	cross := senderShard != execShard
-
-	switch sc.cfg.Model {
-	case ModelMigration:
-		if cross {
-			// Move the sender's account to the executing shard, then run
-			// locally.
-			sc.migrate(tx.From, senderShard, execShard)
-			cross = false
-		}
-	case ModelReceipts:
-		if cross {
-			// The sender's shard debits and emits a receipt carrying the
-			// value and calldata; the target shard executes on settlement.
-			// Only the value is debited here (fee plumbing is omitted, see
-			// applyWithHook), so only the value is required — and a nonce
-			// failure is reported as what it is, matching the semantics of
-			// chain.ApplyTransaction.
-			st := sc.shards[senderShard].state
-			if st.GetNonce(tx.From) != tx.Nonce {
-				sc.stats.Failed++
-				return &chain.Receipt{TxHash: tx.Hash(), Success: false,
-					Err: chain.ErrNonceMismatch}
-			}
-			if st.GetBalance(tx.From).Cmp(tx.Value) < 0 {
-				sc.stats.Failed++
-				return &chain.Receipt{TxHash: tx.Hash(), Success: false,
-					Err: chain.ErrInsufficientFunds}
-			}
-			st.SubBalance(tx.From, tx.Value)
-			st.SetNonce(tx.From, tx.Nonce+1)
-			st.DiscardJournal()
-			sh := sc.shards[senderShard]
-			sh.outbox[execShard] = append(sh.outbox[execShard], Receipt{
-				From: tx.From, To: *tx.To, Value: tx.Value,
-				Input: append([]byte(nil), tx.Data...),
-				Born:  sc.clock,
-			})
-			sc.stats.Messages++
-			sc.stats.CrossTxs++
-			return &chain.Receipt{TxHash: tx.Hash(), Success: true}
-		}
-	}
-
-	// Local execution on execShard with the cross-shard hook armed for
-	// internal calls that leave the shard.
-	st := sc.shards[execShard].state
-	receipt, err := applyWithHook(st, tx, sc.hookFor(execShard))
 	if err != nil {
-		sc.stats.Failed++
+		eff.stats.Failed++
 		return &chain.Receipt{TxHash: tx.Hash(), Success: false, Err: err}
 	}
-	if cross {
-		sc.stats.CrossTxs++
-	} else {
-		sc.stats.LocalTxs++
-	}
+	eff.stats.LocalTxs++
 	return receipt
 }
 
-// migrate moves an account's full state between shards and re-homes it.
-// The source copy is purged entirely (DeleteAccount): zeroing only the
-// balance would leave a ghost account whose nonce, code and stale storage
-// slots survive on the source shard and resurrect on a later round-trip
-// (CopyStorage copies live slots only, so slots zeroed while the account
-// was away would reappear with their old values).
+// runTxSerial executes one transaction with full serial semantics — the
+// sender of a migration-model cross transaction migrates inline, as do
+// remote callees of internal calls — and applies its effects immediately.
+// It is the whole per-transaction serial engine, and doubles as the
+// parallel engine's serialized path for migration barriers and conflict
+// re-execution.
+func (sc *ShardChain) runTxSerial(tx *chain.Transaction, h *homes) *chain.Receipt {
+	var eff effects
+	exec := sc.execShardOf(tx, h)
+	sender := h.of(tx.From)
+	cross := sender != exec
+
+	if sc.cfg.Model == ModelMigration && cross {
+		// Move the sender's account to the executing shard, then run
+		// locally.
+		sc.migrateInto(tx.From, sender, exec, &eff.stats)
+		cross = false
+	}
+	var receipt *chain.Receipt
+	work := exec
+	if cross { // ModelReceipts
+		work = sender
+		receipt = sc.crossEmit(sender, exec, tx, &eff, false)
+	} else {
+		receipt = sc.runLocal(exec, tx, h, &eff, func(to types.Address, calleeHome int) {
+			sc.migrateCallee(to, calleeHome, exec, &eff)
+		}, false)
+	}
+	sc.applyEffects(work, &eff)
+	return receipt
+}
+
+// Step executes one global block: it settles every shard's pending inbox,
+// executes the given transactions, and delivers newly emitted receipts at
+// the block barrier. Transactions execute on the home shard of their
+// target (creation transactions on the sender's shard).
+func (sc *ShardChain) Step(txs []*chain.Transaction) []*chain.Receipt {
+	sc.clock++
+	var receipts []*chain.Receipt
+	if sc.cfg.Parallel {
+		receipts = sc.stepParallel(txs)
+	} else {
+		receipts = sc.stepSerial(txs)
+	}
+	sc.exchangeOutboxes()
+	return receipts
+}
+
+// stepSerial is the reference engine: settle then execute, one item at a
+// time in canonical order (shards ascending for settlement, transaction
+// order for execution).
+func (sc *ShardChain) stepSerial(txs []*chain.Transaction) []*chain.Receipt {
+	h := &homes{sc: sc}
+	sc.settleInboxesSerial(h)
+	receipts := make([]*chain.Receipt, len(txs))
+	for i, tx := range txs {
+		receipts[i] = sc.runTxSerial(tx, h)
+	}
+	return receipts
+}
+
+// settleInboxesSerial drains every shard's inbox one receipt at a time in
+// canonical order (shards ascending, delivery order within each), with the
+// serial callee reaction armed. Shared by the serial engine and the
+// parallel engine's migration-model settle fallback so the two cannot
+// drift.
+func (sc *ShardChain) settleInboxesSerial(h *homes) {
+	for i, sh := range sc.shards {
+		inbox := sh.inbox
+		sh.inbox = nil
+		for _, r := range inbox {
+			var eff effects
+			sc.settleOne(i, r, h, &eff, func(to types.Address, calleeHome int) {
+				sc.migrateCallee(to, calleeHome, i, &eff)
+			})
+			sc.applyEffects(i, &eff)
+		}
+	}
+}
+
+// exchangeOutboxes delivers every outbox into the destination inboxes at
+// the block barrier, in canonical (source-shard, emission-order) order:
+// shard dst's next inbox is the concatenation of outbox[src][dst] for src
+// ascending, each in emission order. Both engines exchange identically, so
+// inbox contents — and therefore every later settlement — match
+// byte-for-byte.
+func (sc *ShardChain) exchangeOutboxes() {
+	for _, sh := range sc.shards {
+		for dst, rs := range sh.outbox {
+			if len(rs) == 0 {
+				continue
+			}
+			sc.shards[dst].inbox = append(sc.shards[dst].inbox, rs...)
+			sh.outbox[dst] = nil
+		}
+	}
+}
+
+// migrate moves an account's full state between shards and re-homes it,
+// counting against the chain totals. The source copy is purged entirely
+// (DeleteAccount): zeroing only the balance would leave a ghost account
+// whose nonce, code and stale storage slots survive on the source shard
+// and resurrect on a later round-trip (CopyStorage copies live slots only,
+// so slots zeroed while the account was away would reappear with their old
+// values).
 func (sc *ShardChain) migrate(addr types.Address, from, to int) {
+	sc.migrateInto(addr, from, to, &sc.stats)
+}
+
+// migrateInto is migrate with an explicit stats sink, so per-item engines
+// can buffer the counter deltas alongside the item's other effects.
+func (sc *ShardChain) migrateInto(addr types.Address, from, to int, stats *Stats) {
 	src := sc.shards[from].state
 	dst := sc.shards[to].state
 
@@ -377,9 +586,9 @@ func (sc *ShardChain) migrate(addr types.Address, from, to int) {
 	dst.DiscardJournal()
 
 	sc.home[addr] = to
-	sc.stats.Migrations++
-	sc.stats.MigratedSlots += int64(slots)
-	sc.stats.Messages++ // the state transfer itself
+	stats.Migrations++
+	stats.MigratedSlots += int64(slots)
+	stats.Messages++ // the state transfer itself
 }
 
 // MigrateAccount moves addr's state to shard `to` and re-homes it — the
@@ -447,11 +656,4 @@ func (sc *ShardChain) PendingReceipts() int {
 		}
 	}
 	return n
-}
-
-// applyWithHook is chain.ApplyTransaction with a remote hook installed.
-// The miner fee plumbing is omitted: shardchain measures message and
-// migration costs, not fee flows.
-func applyWithHook(st *chain.State, tx *chain.Transaction, hook evm.RemoteHook) (*chain.Receipt, error) {
-	return chain.ApplyTransactionHooked(st, tx, types.Address{}, hook)
 }

@@ -178,6 +178,80 @@ func TestInternalCrossShardCallBecomesReceipt(t *testing.T) {
 	}
 }
 
+func TestInternalCrossShardCallMigratesCalleeUnderMigration(t *testing.T) {
+	// Regression: under ModelMigration an internal call leaving the shard
+	// must migrate the callee to the executing shard and continue locally —
+	// the package contract says "every remote participant's account state
+	// is migrated" — not divert into a receipt (the old code armed the
+	// receipts hook for both models).
+	sc := newSC(t, ModelMigration, map[types.Address]int{alice: 0, carol: 1})
+	// Carol has materialised state on shard 1.
+	sc.StateOf(1).AddBalance(carol, evm.WordFromUint64(1000))
+	sc.StateOf(1).DiscardJournal()
+	wallet := deployOnShard(t, sc, 0, workload.WalletRuntime(), 1<<20)
+	migrationsBefore := sc.Stats().Migrations
+
+	var data [32]byte
+	cb := evm.WordFromBytes(carol[:]).Bytes32()
+	copy(data[:], cb[:])
+	tx := &chain.Transaction{
+		Nonce: sc.StateOf(0).GetNonce(alice), From: alice, To: &wallet,
+		Value: evm.WordFromUint64(777), Data: data[:],
+		GasLimit: 500_000, GasPrice: 1,
+	}
+	rs := sc.Step([]*chain.Transaction{tx})
+	if !rs[0].Success {
+		t.Fatalf("wallet call failed: %v", rs[0].Err)
+	}
+	st := sc.Stats()
+	if st.Migrations <= migrationsBefore {
+		t.Errorf("Migrations = %d, want > %d (remote callee must migrate)", st.Migrations, migrationsBefore)
+	}
+	if st.ReceiptsSettled != 0 || sc.PendingReceipts() != 0 {
+		t.Errorf("migration model emitted receipts: settled=%d pending=%d",
+			st.ReceiptsSettled, sc.PendingReceipts())
+	}
+	// The call completed synchronously on shard 0 with carol's full state.
+	if home := sc.HomeOf(carol); home != 0 {
+		t.Errorf("carol home = %d, want 0", home)
+	}
+	if got := sc.StateOf(0).GetBalance(carol).Uint64(); got != 1000+777 {
+		t.Errorf("carol balance = %d, want 1777", got)
+	}
+	if sc.StateOf(1).Exist(carol) {
+		t.Error("source shard must not keep carol's state after the callee migration")
+	}
+}
+
+func TestInternalCallToStatelessRemoteRehomesUnderMigration(t *testing.T) {
+	// A remote callee that has no materialised state anywhere is re-homed
+	// to the executing shard without a phantom migration (mirroring
+	// MigrateAccount's refusal to move nothing).
+	sc := newSC(t, ModelMigration, map[types.Address]int{alice: 0, carol: 1})
+	wallet := deployOnShard(t, sc, 0, workload.WalletRuntime(), 1<<20)
+
+	var data [32]byte
+	cb := evm.WordFromBytes(carol[:]).Bytes32()
+	copy(data[:], cb[:])
+	tx := &chain.Transaction{
+		Nonce: sc.StateOf(0).GetNonce(alice), From: alice, To: &wallet,
+		Value: evm.WordFromUint64(42), Data: data[:],
+		GasLimit: 500_000, GasPrice: 1,
+	}
+	if rs := sc.Step([]*chain.Transaction{tx}); !rs[0].Success {
+		t.Fatalf("wallet call failed: %v", rs[0].Err)
+	}
+	if st := sc.Stats(); st.Migrations != 0 || st.Messages != 0 {
+		t.Errorf("stateless callee moved state: %+v", st)
+	}
+	if home := sc.HomeOf(carol); home != 0 {
+		t.Errorf("carol home = %d, want 0 (re-homed to executing shard)", home)
+	}
+	if got := sc.StateOf(0).GetBalance(carol).Uint64(); got != 42 {
+		t.Errorf("carol balance = %d, want 42", got)
+	}
+}
+
 // deployOnShard deploys runtime on the given shard from alice (whose home
 // must be that shard) and registers the contract's home.
 func deployOnShard(t *testing.T, sc *ShardChain, shard int, runtime []byte, endow uint64) types.Address {

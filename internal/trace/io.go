@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
+	"strings"
 
 	"ethpart/internal/evm"
 )
@@ -95,6 +97,11 @@ func (cw *CSVWriter) Flush() error {
 type CSVReader struct {
 	r          *csv.Reader
 	readHeader bool
+	// headerErr latches a header-validation failure: the bad row is
+	// already consumed, so without it a caller that keeps reading would
+	// have successive data rows validated as the header and end in a
+	// clean io.EOF that masks the malformed input.
+	headerErr error
 }
 
 // NewCSVReader returns a reader over the dataset CSV format.
@@ -105,13 +112,27 @@ func NewCSVReader(r io.Reader) *CSVReader {
 }
 
 // Read returns the next record, or io.EOF at the end of the stream.
+//
+// The first row must be the dataset header: blindly discarding it would
+// silently lose the first record of a headerless file and misread any
+// malformed input, so a mismatching first row is a descriptive error
+// instead.
 func (cr *CSVReader) Read() (Record, error) {
+	if cr.headerErr != nil {
+		return Record{}, cr.headerErr
+	}
 	if !cr.readHeader {
-		if _, err := cr.r.Read(); err != nil {
+		row, err := cr.r.Read()
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return Record{}, io.EOF
 			}
 			return Record{}, fmt.Errorf("trace: reading CSV header: %w", err)
+		}
+		if !slices.Equal(row, csvHeader) {
+			cr.headerErr = fmt.Errorf("trace: bad CSV header %q, want %q (input is headerless or not a trace CSV)",
+				strings.Join(row, ","), strings.Join(csvHeader, ","))
+			return Record{}, cr.headerErr
 		}
 		cr.readHeader = true
 	}

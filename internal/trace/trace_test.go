@@ -121,6 +121,45 @@ func TestCSVReaderEmpty(t *testing.T) {
 	}
 }
 
+func TestCSVReaderHeaderlessInput(t *testing.T) {
+	// A headerless file starts with a data row; discarding it blindly
+	// would silently drop the first record. The reader must refuse with an
+	// error naming the expected header instead.
+	in := "1,1000,tx,0,account,1,account,42\n1,1000,call,1,account,2,contract,0\n"
+	r := NewCSVReader(strings.NewReader(in))
+	_, err := r.Read()
+	if err == nil {
+		t.Fatal("headerless input must error, not lose its first record")
+	}
+	if !strings.Contains(err.Error(), "header") || !strings.Contains(err.Error(), "block,time,kind") {
+		t.Errorf("error must name the expected header: %v", err)
+	}
+	// The failure is sticky: a caller that keeps reading must not have
+	// later data rows validated as the header and then reach a clean EOF
+	// that masks the malformed input.
+	for i := 0; i < 3; i++ {
+		if _, again := r.Read(); again == nil || again.Error() != err.Error() {
+			t.Fatalf("read %d after header failure: err = %v, want the original header error", i, again)
+		}
+	}
+}
+
+func TestCSVReaderWrongHeader(t *testing.T) {
+	in := "blk,ts,type,src,src_kind,dst,dst_kind,amount\n1,1000,tx,0,account,1,account,42\n"
+	r := NewCSVReader(strings.NewReader(in))
+	if _, err := r.Read(); err == nil || !strings.Contains(err.Error(), "bad CSV header") {
+		t.Errorf("wrong header must be rejected descriptively, got %v", err)
+	}
+}
+
+func TestCSVReaderHeaderOnly(t *testing.T) {
+	in := "block,time,kind,from,from_kind,to,to_kind,value\n"
+	r := NewCSVReader(strings.NewReader(in))
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("header-only stream: err = %v, want EOF", err)
+	}
+}
+
 func TestCSVReaderBadKind(t *testing.T) {
 	in := "block,time,kind,from,from_kind,to,to_kind,value\n1,2,bogus,0,account,1,account,0\n"
 	r := NewCSVReader(strings.NewReader(in))
