@@ -25,6 +25,7 @@ import (
 	"ethpart/internal/partition/multilevel"
 	"ethpart/internal/shardchain"
 	"ethpart/internal/sim"
+	"ethpart/internal/trace"
 	"ethpart/internal/types"
 	"ethpart/internal/workload"
 )
@@ -489,6 +490,90 @@ func BenchmarkShardStep(b *testing.B) {
 				if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
 					b.ReportMetric(float64(b.N*len(users))/elapsed, "tx/s")
 				}
+			})
+		}
+	}
+}
+
+// decayBenchTrace builds a long drifting-eras record stream: each era
+// retires the previous era's active set, the regime where full-history
+// mode accumulates graph (and repartition cost) linearly with trace length
+// while windowed decay keeps both bounded by the active set.
+func decayBenchTrace(eras int) []trace.Record {
+	base := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	state := uint64(99991)
+	next := func(n uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % n
+	}
+	const windowsPerEra, perWindow = 8, 150
+	recs := make([]trace.Record, 0, eras*windowsPerEra*perWindow)
+	t := base
+	for e := 0; e < eras; e++ {
+		lo := uint64(e * 300)
+		for w := 0; w < windowsPerEra; w++ {
+			for i := 0; i < perWindow; i++ {
+				recs = append(recs, trace.Record{
+					Time: t, From: lo + next(300), To: lo + next(300),
+				})
+				t += 4 * 3600 / perWindow
+			}
+		}
+	}
+	return recs
+}
+
+// BenchmarkDecayRepartition is the windowed-decay headline: METIS with
+// two-day repartitioning over drifting-eras traces of growing length,
+// full-history versus decay mode. The ms/fire metric is the replay
+// wall-clock per repartition firing; over a 3× longer trace it grows with
+// trace length in full-history mode (each firing partitions all of
+// history) and stays flat in decay mode (each firing partitions only the
+// horizon's worth of live graph). live-vertices reports the final live
+// graph size — the memory bound made visible. Part of CI's benchmark
+// smoke.
+func BenchmarkDecayRepartition(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		decay bool
+	}{{"full-history", false}, {"decay", true}} {
+		for _, length := range []struct {
+			name string
+			eras int
+		}{{"trace-1x", 12}, {"trace-3x", 36}} {
+			b.Run(fmt.Sprintf("mode=%s/%s", mode.name, length.name), func(b *testing.B) {
+				recs := decayBenchTrace(length.eras)
+				cfg := sim.Config{
+					Method: sim.MethodMetis, K: 4,
+					Window:           4 * time.Hour,
+					RepartitionEvery: 2 * 24 * time.Hour,
+				}
+				if mode.decay {
+					cfg.DecayHalfLife = 24 * time.Hour
+					cfg.Horizon = 4 * 24 * time.Hour
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var res *sim.Result
+				for i := 0; i < b.N; i++ {
+					s, err := sim.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range recs {
+						if err := s.Process(r); err != nil {
+							b.Fatal(err)
+						}
+					}
+					res = s.Finish()
+				}
+				b.StopTimer()
+				if res.Repartitions > 0 {
+					perFire := b.Elapsed().Seconds() * 1e3 / float64(b.N) / float64(res.Repartitions)
+					b.ReportMetric(perFire, "ms/fire")
+				}
+				b.ReportMetric(float64(res.Repartitions), "repartitions")
+				b.ReportMetric(float64(res.Vertices), "live-vertices")
 			})
 		}
 	}

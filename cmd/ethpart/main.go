@@ -5,7 +5,15 @@
 // Usage:
 //
 //	ethpart -trace trace.csv -method metis -k 4 [-window 4h] [-repartition 336h]
+//	        [-decay-half-life 168h] [-horizon 672h]
 //	ethpart ops [-seed 1] [-scale 0.002] [-k 2] [-csv] [-parallel]
+//	        [-decay-half-life 168h] [-horizon 672h]
+//
+// With -decay-half-life the replay runs in windowed-decay mode: the
+// cumulative graph ages at every window boundary and entries idle past the
+// retention horizon retire, so memory and repartition cost stay bounded by
+// the active set on arbitrarily long traces (shard assignments stay sticky
+// through retirement).
 //
 // The ops subcommand runs the operational co-simulation: every method is
 // replayed through a live sharded chain under both multi-shard models and
@@ -53,6 +61,8 @@ func run(args []string) error {
 	repartition := fs.Duration("repartition", 14*24*time.Hour, "repartition period")
 	cutThreshold := fs.Float64("cut-threshold", 0, "TR-METIS dynamic edge-cut trigger (0 = default)")
 	balThreshold := fs.Float64("balance-threshold", 0, "TR-METIS dynamic balance trigger (0 = default)")
+	decay := fs.Duration("decay-half-life", 0, "enable windowed graph decay with this half-life (0 = full history)")
+	horizon := fs.Duration("horizon", 0, "decay retention horizon (0 = 4x the half-life)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +93,8 @@ func run(args []string) error {
 		RepartitionEvery: *repartition,
 		CutThreshold:     *cutThreshold,
 		BalanceThreshold: *balThreshold,
+		DecayHalfLife:    *decay,
+		Horizon:          *horizon,
 	})
 	if err != nil {
 		return err

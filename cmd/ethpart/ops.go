@@ -28,6 +28,8 @@ func runOps(args []string) error {
 	blockInterval := fs.Duration("block", 2*time.Hour, "simulated block interval")
 	csvOut := fs.Bool("csv", false, "emit per-window CSV instead of the summary table")
 	parallel := fs.Bool("parallel", false, "also run the parallel per-shard engine and report its per-block speedup")
+	decay := fs.Duration("decay-half-life", 0, "enable windowed graph decay with this half-life (0 = full history)")
+	horizon := fs.Duration("horizon", 0, "decay retention horizon (0 = 4x the half-life)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,6 +44,8 @@ func runOps(args []string) error {
 		BlockInterval:    *blockInterval,
 		Window:           *window,
 		RepartitionEvery: *repartition,
+		DecayHalfLife:    *decay,
+		Horizon:          *horizon,
 	})
 	if err != nil {
 		return err

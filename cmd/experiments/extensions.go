@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"ethpart/internal/costmodel"
 	"ethpart/internal/experiments"
@@ -51,12 +52,15 @@ func costs(ds *experiments.Dataset, out output, k int) error {
 }
 
 // shardaware reruns the method comparison on a community-local workload —
-// the "applications will be designed in a different way" extension.
-func shardaware(seed int64, scale float64, out output, k int) error {
+// the "applications will be designed in a different way" extension. The
+// decay flags apply to both halves of the comparison identically.
+func shardaware(seed int64, scale float64, out output, k int, decay, horizon time.Duration) error {
 	fmt.Printf("=== Extension: shard-aware workload (k=%d communities, locality 0.95) ===\n", k)
 	fmt.Println("generating baseline and shard-aware histories...")
-	rows, err := experiments.ShardAware(
-		experiments.DefaultShardAwareParams(seed, scale), k, 0.95)
+	params := experiments.DefaultShardAwareParams(seed, scale)
+	params.DecayHalfLife = decay
+	params.Horizon = horizon
+	rows, err := experiments.ShardAware(params, k, 0.95)
 	if err != nil {
 		return err
 	}

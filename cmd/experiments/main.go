@@ -13,6 +13,9 @@
 //	-csv DIR     also write CSV files into DIR
 //	-method M    fig3 method: hash|kl|metis|r-metis|tr-metis (default both
 //	             hash and metis, as in the paper)
+//	-decay-half-life D  windowed graph decay half-life (0 = full history,
+//	             as in the paper); bounds live-graph size on long traces
+//	-horizon D   decay retention horizon (0 = 4x the half-life)
 package main
 
 import (
@@ -42,6 +45,8 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory for CSV output (optional)")
 	method := fs.String("method", "", "fig3 method (default: hash and metis)")
 	k := fs.Int("k", 4, "shard count for the extension subcommands")
+	decay := fs.Duration("decay-half-life", 0, "enable windowed graph decay with this half-life (0 = full history, as in the paper)")
+	horizon := fs.Duration("horizon", 0, "decay retention horizon (0 = 4x the half-life)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,12 +57,15 @@ func run(args []string) error {
 
 	// shardaware generates its own pair of histories.
 	if cmd == "shardaware" {
-		return shardaware(*seed, *scale, output{dir: *csvDir}, *k)
+		return shardaware(*seed, *scale, output{dir: *csvDir}, *k, *decay, *horizon)
 	}
 
 	fmt.Printf("generating synthetic history (seed=%d scale=%g)...\n", *seed, *scale)
 	start := time.Now()
-	ds, err := experiments.NewDataset(experiments.Params{Seed: *seed, Scale: *scale})
+	ds, err := experiments.NewDataset(experiments.Params{
+		Seed: *seed, Scale: *scale,
+		DecayHalfLife: *decay, Horizon: *horizon,
+	})
 	if err != nil {
 		return err
 	}

@@ -42,6 +42,13 @@ type Params struct {
 	Window time.Duration
 	// RepartitionEvery is the periodic methods' period (default 2 weeks).
 	RepartitionEvery time.Duration
+	// DecayHalfLife, when positive, enables windowed decay of the
+	// cumulative graph in every simulation (see sim.Config.DecayHalfLife).
+	// Zero keeps the paper's full-history mode.
+	DecayHalfLife time.Duration
+	// Horizon is the decay retention horizon (see sim.Config.Horizon);
+	// zero defaults to 4×DecayHalfLife when decay is enabled.
+	Horizon time.Duration
 }
 
 func (p Params) withDefaults() Params {
@@ -125,6 +132,8 @@ func (d *Dataset) configFor(method sim.Method, k int) sim.Config {
 		K:                k,
 		Window:           d.Params.Window,
 		RepartitionEvery: d.Params.RepartitionEvery,
+		DecayHalfLife:    d.Params.DecayHalfLife,
+		Horizon:          d.Params.Horizon,
 	}
 }
 

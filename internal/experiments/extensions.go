@@ -93,10 +93,14 @@ func ShardAware(p Params, k int, locality float64) ([]ShardAwareRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Mirror configFor exactly (including decay) so both halves of the
+		// comparison replay under the same regime.
 		awareRes, err := sim.Replay(awareGT, sim.Config{
 			Method: m, K: k,
 			Window:           p.Window,
 			RepartitionEvery: p.RepartitionEvery,
+			DecayHalfLife:    p.DecayHalfLife,
+			Horizon:          p.Horizon,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: shard-aware %v: %w", m, err)

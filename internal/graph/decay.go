@@ -1,0 +1,160 @@
+package graph
+
+import "math"
+
+// Windowed decay and retirement. The graph tracks, per vertex and per
+// directed edge, the epoch of the last interaction that touched it; a decay
+// sweep (one per metric window in the simulator) advances the epoch,
+// multiplies every live weight by a factor in (0,1], and retires whatever
+// has not been touched for maxAge epochs. The effective decayed weight of
+// an entry is therefore
+//
+//	w(age) = max(1, floor(w·factor^age))  while age < maxAge,
+//	w(age) = 0                            at age >= maxAge,
+//
+// i.e. weights shrink exponentially toward the floor of one unit and reach
+// zero exactly at the retention horizon. The min-1 clamp keeps integer
+// weights from erasing the (majority) weight-1 edges after a single sweep,
+// so the half-life governs *ranking* between heavy and light edges while
+// the horizon alone governs *lifetime* — which is what bounds memory: the
+// live graph is exactly the set of vertices and edges touched within the
+// last maxAge epochs.
+//
+// Retired vertices release their slot to the free list (EnsureVertex reuses
+// it on reappearance) and their ID is removed from the slot table or spill
+// map. The caller keeps any external per-vertex state (the simulator's
+// shard assignment stays sticky) and re-admits reappearing vertices through
+// its normal first-sight path.
+
+// DecayWeights advances the graph's epoch and applies one decay sweep:
+// every vertex and edge weight is multiplied by factor (rounded down,
+// clamped to a minimum of one), and vertices and edges untouched for maxAge
+// or more epochs — counting the epoch just opened — are dropped. It returns
+// the number of retired vertices.
+//
+// factor must be in (0, 1] and maxAge at least 1. A sweep scans every slot
+// ever allocated (free slots cost one kind check each, so the scan is
+// O(peak live size)) and does weight work proportional to the live graph;
+// aggregate counters (EdgeCount, TotalEdgeWeight, TotalVertexWeight) are
+// rebuilt during the sweep.
+//
+// The epoch/touch invariant that makes the sweep safe: a vertex's touch is
+// at least the touch of every incident edge (AddInteraction stamps both
+// endpoints), so by the time a vertex ages out, every incident edge has
+// already been dropped — from both of its row copies, which always carry
+// identical touch stamps — and retirement never leaves a dangling edge.
+func (g *Graph) DecayWeights(factor float64, maxAge uint32) (retired int) {
+	return g.DecayRetired(factor, maxAge, nil)
+}
+
+// DecayRetired is DecayWeights with a callback invoked for each vertex just
+// before it retires (while its ID and records are still intact), letting
+// callers maintain external per-vertex state — the simulator uses it to
+// keep per-shard live counts exact.
+//
+// Out-of-range arguments are clamped rather than silently ignored — a
+// factor underflowing to 0 (a half-life vastly shorter than the sweep
+// interval) must not read as "decay off" and let the graph grow without
+// bound: factor <= 0 becomes the smallest positive float (weights collapse
+// to the floor of one immediately; retirement still runs on age), factor >
+// 1 becomes 1, maxAge 0 becomes 1.
+func (g *Graph) DecayRetired(factor float64, maxAge uint32, onRetire func(VertexID)) (retired int) {
+	if factor <= 0 {
+		factor = math.SmallestNonzeroFloat64
+	}
+	if factor > 1 {
+		factor = 1
+	}
+	if maxAge < 1 {
+		maxAge = 1
+	}
+	g.epoch++
+	g.numEdges = 0
+	g.totalEdgeWeight = 0
+	g.totalVertWeight = 0
+	for s := range g.ids {
+		if g.kinds[s] == 0 {
+			continue // already free
+		}
+		if g.epoch-g.touch[s] >= maxAge {
+			if onRetire != nil {
+				onRetire(g.ids[s])
+			}
+			g.retireSlot(int32(s))
+			retired++
+			continue
+		}
+		g.decayRow(&g.out[s], factor, maxAge)
+		g.decayRow(&g.in[s], factor, maxAge)
+		w := int64(float64(g.weights[s]) * factor)
+		if w < 1 {
+			w = 1
+		}
+		g.weights[s] = w
+		g.totalVertWeight += w
+		g.numEdges += len(g.out[s].e)
+		for i := range g.out[s].e {
+			g.totalEdgeWeight += g.out[s].e[i].w
+		}
+	}
+	return retired
+}
+
+// decayRow decays one adjacency row in place: expired entries are dropped,
+// surviving weights shrink by factor with a floor of one. The position
+// index is rebuilt (or dropped) to match the compacted row.
+func (g *Graph) decayRow(r *row, factor float64, maxAge uint32) {
+	j := 0
+	for i := range r.e {
+		if g.epoch-r.e[i].touch >= maxAge {
+			continue
+		}
+		w := int64(float64(r.e[i].w) * factor)
+		if w < 1 {
+			w = 1
+		}
+		r.e[j] = r.e[i]
+		r.e[j].w = w
+		j++
+	}
+	if j == len(r.e) {
+		// Nothing dropped: the rescale already happened in place (j == i
+		// throughout), positions are unchanged, the index stays valid.
+		return
+	}
+	r.e = r.e[:j]
+	if r.idx == nil {
+		return
+	}
+	if len(r.e) <= rowIndexThreshold {
+		r.idx = nil
+		return
+	}
+	clear(r.idx)
+	for i := range r.e {
+		r.idx[r.e[i].to] = int32(i)
+	}
+}
+
+// retireSlot frees one vertex slot: the ID is unindexed, the records are
+// zeroed (the zero Kind marks the slot free) and the slot joins the free
+// list. The vertex's rows are dropped wholesale — every incident edge is at
+// least as old as the vertex, so the same sweep drops the mirror copies
+// from the rows of its (live) neighbours.
+func (g *Graph) retireSlot(s int32) {
+	id := g.ids[s]
+	if id < VertexID(len(g.slot)) {
+		g.slot[id] = -1
+	} else if g.spill != nil {
+		delete(g.spill, id)
+	}
+	g.ids[s] = 0
+	g.kinds[s] = 0
+	g.weights[s] = 0
+	g.out[s] = row{}
+	g.in[s] = row{}
+	g.free = append(g.free, s)
+}
+
+// Epoch returns the number of decay sweeps applied so far.
+func (g *Graph) Epoch() uint32 { return g.epoch }

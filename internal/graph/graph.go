@@ -5,7 +5,10 @@
 //
 // The package supports incremental construction (one interaction at a time,
 // as transactions execute), snapshots, windowed sub-graphs, a compact CSR
-// form consumed by the partitioners, and DOT export for visualisation.
+// form consumed by the partitioners, DOT export for visualisation, and
+// windowed exponential decay with retirement (DecayWeights) so long-running
+// callers can keep the live graph bounded by the active set instead of the
+// full history.
 //
 // Storage is dense: the trace registry assigns vertex IDs from zero, so the
 // graph keeps per-vertex records in slices indexed through a VertexID->slot
@@ -62,12 +65,17 @@ func (k Kind) Valid() bool { return k == KindAccount || k == KindContract }
 // entries; hub rows amortise the map across thousands of lookups.
 const rowIndexThreshold = 32
 
-// halfEdge is one directed adjacency entry: the far endpoint and the
-// accumulated edge weight. Neighbour and weight share a struct so a row is
-// one contiguous allocation instead of two parallel ones.
+// halfEdge is one directed adjacency entry: the far endpoint, the
+// accumulated edge weight and the epoch the edge was last touched in.
+// Neighbour, weight and touch share a struct so a row is one contiguous
+// allocation instead of three parallel ones. Both copies of an edge (the
+// out row of u and the in row of v) always carry identical weight and
+// touch, so a decay sweep drops or keeps them consistently without any
+// cross-row surgery.
 type halfEdge struct {
-	to VertexID
-	w  int64
+	to    VertexID
+	w     int64
+	touch uint32 // epoch of the last AddInteraction on this edge
 }
 
 // row is one adjacency direction of a vertex: half edges in insertion
@@ -100,12 +108,13 @@ func (r *row) find(v VertexID) int32 {
 func (r *row) add(g *Graph, v VertexID, w int64) bool {
 	if p := r.find(v); p >= 0 {
 		r.e[p].w += w
+		r.e[p].touch = g.epoch
 		return false
 	}
 	if r.e == nil {
 		r.e = g.newRowBlock()
 	}
-	r.e = append(r.e, halfEdge{to: v, w: w})
+	r.e = append(r.e, halfEdge{to: v, w: w, touch: g.epoch})
 	if r.idx != nil {
 		r.idx[v] = int32(len(r.e) - 1)
 	} else if len(r.e) > rowIndexThreshold {
@@ -144,12 +153,21 @@ type Graph struct {
 	// O(1) array probe for a map probe rather than an absurd table.
 	slot  []int32
 	spill map[VertexID]int32
-	// Per-slot vertex records, in insertion order.
+	// Per-slot vertex records, in insertion order. A slot whose kind is the
+	// zero value is free (its vertex was retired by DecayWeights); free
+	// slots are reused by EnsureVertex through the free list, so a graph
+	// with windowed decay keeps its record storage O(live vertices) however
+	// long it runs.
 	ids     []VertexID
 	kinds   []Kind
-	weights []int64 // dynamic weight: interactions the vertex took part in
-	out     []row   // out[s] lists v with edge ids[s]->v
-	in      []row   // in[s] lists u with edge u->ids[s]
+	weights []int64  // dynamic weight: interactions the vertex took part in
+	touch   []uint32 // epoch of the last interaction involving the vertex
+	out     []row    // out[s] lists v with edge ids[s]->v
+	in      []row    // in[s] lists u with edge u->ids[s]
+	// free lists retired slots available for reuse.
+	free []int32
+	// epoch counts DecayWeights sweeps; touch stamps compare against it.
+	epoch uint32
 
 	// arena hands out the initial fixed-size block of every adjacency row.
 	// Most vertices stay within one block for their whole life, so row
@@ -204,12 +222,40 @@ func (g *Graph) slotOf(id VertexID) int32 {
 // EnsureVertex adds a vertex with the given kind if it does not exist yet and
 // returns true if the vertex was created. The kind of an existing vertex is
 // never changed: accounts that later deploy code are modelled as separate
-// contract vertices by the caller.
+// contract vertices by the caller. An invalid kind is refused (returns
+// false without creating anything): the zero Kind marks free slots
+// internally, so admitting it would plant a ghost slot that iteration and
+// retirement skip forever.
 func (g *Graph) EnsureVertex(id VertexID, kind Kind) bool {
-	if g.slotOf(id) >= 0 {
+	if !kind.Valid() || g.slotOf(id) >= 0 {
 		return false
 	}
-	s := int32(len(g.ids))
+	var s int32
+	if n := len(g.free); n > 0 {
+		// Reuse a retired slot: its rows were already reset at retirement.
+		s = g.free[n-1]
+		g.free = g.free[:n-1]
+		g.ids[s] = id
+		g.kinds[s] = kind
+		g.weights[s] = 0
+		g.touch[s] = g.epoch
+		g.indexSlot(id, s)
+		return true
+	}
+	s = int32(len(g.ids))
+	g.ids = append(g.ids, id)
+	g.kinds = append(g.kinds, kind)
+	g.weights = append(g.weights, 0)
+	g.touch = append(g.touch, g.epoch)
+	g.out = append(g.out, row{})
+	g.in = append(g.in, row{})
+	g.indexSlot(id, s)
+	return true
+}
+
+// indexSlot records the VertexID -> slot mapping in the dense table or the
+// spill map.
+func (g *Graph) indexSlot(id VertexID, s int32) {
 	if id < denseIDLimit {
 		if VertexID(len(g.slot)) <= id {
 			grown := append(g.slot, make([]int32, int(id)+1-len(g.slot))...)
@@ -225,12 +271,6 @@ func (g *Graph) EnsureVertex(id VertexID, kind Kind) bool {
 		}
 		g.spill[id] = s
 	}
-	g.ids = append(g.ids, id)
-	g.kinds = append(g.kinds, kind)
-	g.weights = append(g.weights, 0)
-	g.out = append(g.out, row{})
-	g.in = append(g.in, row{})
-	return true
 }
 
 // HasVertex reports whether id is in the graph.
@@ -272,12 +312,14 @@ func (g *Graph) AddInteraction(from, to VertexID, fromKind, toKind Kind, w int64
 	sf := g.slotOf(from)
 
 	g.weights[sf] += w
+	g.touch[sf] = g.epoch
 	g.totalVertWeight += w
 	if from == to {
 		return nil
 	}
 	st := g.slotOf(to)
 	g.weights[st] += w
+	g.touch[st] = g.epoch
 	g.totalVertWeight += w
 
 	if g.out[sf].add(g, to, w) {
@@ -288,8 +330,8 @@ func (g *Graph) AddInteraction(from, to VertexID, fromKind, toKind Kind, w int64
 	return nil
 }
 
-// VertexCount returns the number of vertices.
-func (g *Graph) VertexCount() int { return len(g.ids) }
+// VertexCount returns the number of live vertices.
+func (g *Graph) VertexCount() int { return len(g.ids) - len(g.free) }
 
 // EdgeCount returns the number of distinct directed edges.
 func (g *Graph) EdgeCount() int { return g.numEdges }
@@ -306,10 +348,13 @@ func (g *Graph) TotalVertexWeight() int64 { return g.totalVertWeight }
 // spilled IDs (>= denseIDLimit) are resolved by search instead.
 func (g *Graph) MaxID() VertexID { return VertexID(len(g.slot)) }
 
-// Vertices calls fn for every vertex until fn returns false. Iteration
-// follows insertion order.
+// Vertices calls fn for every live vertex until fn returns false. Iteration
+// follows slot order (insertion order, with retired slots reused in place).
 func (g *Graph) Vertices(fn func(id VertexID, kind Kind, weight int64) bool) {
 	for s, id := range g.ids {
+		if g.kinds[s] == 0 {
+			continue // free slot
+		}
 		if !fn(id, g.kinds[s], g.weights[s]) {
 			return
 		}
@@ -427,9 +472,12 @@ func (g *Graph) EdgeWeight(u, v VertexID) int64 {
 }
 
 // Edges calls fn for every distinct directed edge until fn returns false.
-// Iteration follows vertex insertion order, then row insertion order.
+// Iteration follows vertex slot order, then row insertion order.
 func (g *Graph) Edges(fn func(u, v VertexID, w int64) bool) {
 	for s, u := range g.ids {
+		if g.kinds[s] == 0 {
+			continue // free slot
+		}
 		r := &g.out[s]
 		for i := range r.e {
 			if !fn(u, r.e[i].to, r.e[i].w) {
@@ -447,8 +495,11 @@ func (g *Graph) Clone() *Graph {
 		ids:             append([]VertexID(nil), g.ids...),
 		kinds:           append([]Kind(nil), g.kinds...),
 		weights:         append([]int64(nil), g.weights...),
+		touch:           append([]uint32(nil), g.touch...),
 		out:             make([]row, len(g.out)),
 		in:              make([]row, len(g.in)),
+		free:            append([]int32(nil), g.free...),
+		epoch:           g.epoch,
 		numEdges:        g.numEdges,
 		totalEdgeWeight: g.totalEdgeWeight,
 		totalVertWeight: g.totalVertWeight,

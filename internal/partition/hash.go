@@ -1,9 +1,7 @@
 package partition
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 
 	"ethpart/internal/graph"
 )
@@ -17,14 +15,30 @@ type Hash struct{}
 
 var _ Partitioner = Hash{}
 
+// fnv64a parameters, matching hash/fnv's 64-bit FNV-1a.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // ShardOf returns the hash shard of a single vertex. The simulator uses it
-// to place newly appearing vertices under the hashing method.
+// to place newly appearing vertices under the hashing method — the
+// per-record hot path of MethodHash — so the FNV-1a fold over the ID's
+// eight big-endian bytes is inlined rather than built from a hash.Hash64:
+// same outputs as hash/fnv (pinned by TestHashShardOfMatchesFNV and the
+// golden vectors), no hasher construction, and the whole function inlines
+// into the caller.
 func (Hash) ShardOf(v graph.VertexID, k int) int {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], uint64(v))
-	h.Write(buf[:])
-	return int(h.Sum64() % uint64(k))
+	h := uint64(fnvOffset64)
+	h = (h ^ (uint64(v) >> 56)) * fnvPrime64
+	h = (h ^ (uint64(v) >> 48 & 0xff)) * fnvPrime64
+	h = (h ^ (uint64(v) >> 40 & 0xff)) * fnvPrime64
+	h = (h ^ (uint64(v) >> 32 & 0xff)) * fnvPrime64
+	h = (h ^ (uint64(v) >> 24 & 0xff)) * fnvPrime64
+	h = (h ^ (uint64(v) >> 16 & 0xff)) * fnvPrime64
+	h = (h ^ (uint64(v) >> 8 & 0xff)) * fnvPrime64
+	h = (h ^ (uint64(v) & 0xff)) * fnvPrime64
+	return int(h % uint64(k))
 }
 
 // Partition implements Partitioner.

@@ -31,7 +31,25 @@ func PlaceVertex(g *graph.Graph, a *Assignment, v graph.VertexID) int {
 // vertex during replay) avoid a per-call allocation. The scratch contents
 // are overwritten.
 func PlaceVertexScratch(g *graph.Graph, a *Assignment, v graph.VertexID, scratch []int64) int {
+	return PlaceVertexCounts(g, a, v, scratch, nil)
+}
+
+// PlaceVertexCounts is PlaceVertexScratch with an explicit per-shard
+// vertex-count slice replacing the assignment's cumulative counts for the
+// overload cap and the balance tie-breaks (the neighbour shards still come
+// from the assignment). Under windowed decay the simulator passes its live
+// per-shard counts here: retired vertices keep sticky assignments, so the
+// cumulative counts measure dead history and would let loadCap drift far
+// above any live shard — the rich-get-richer collapse the cap exists to
+// prevent. A nil counts falls back to the assignment's counts.
+func PlaceVertexCounts(g *graph.Graph, a *Assignment, v graph.VertexID, scratch []int64, counts []int) int {
 	k := a.K()
+	countOf := func(s int) int {
+		if counts != nil {
+			return counts[s]
+		}
+		return a.Count(s)
+	}
 	attract := scratch[:k]
 	for i := range attract {
 		attract[i] = 0
@@ -47,12 +65,12 @@ func PlaceVertexScratch(g *graph.Graph, a *Assignment, v graph.VertexID, scratch
 	if !any {
 		// No placed neighbours: fall back to the emptiest shard, the
 		// balance-maximising choice.
-		return leastLoaded(a)
+		return leastLoaded(k, countOf)
 	}
-	limit := loadCap(a)
+	limit := loadCap(k, countOf)
 	best := -1
 	for s := 0; s < k; s++ {
-		if a.Count(s) > limit {
+		if countOf(s) > limit {
 			continue
 		}
 		switch {
@@ -60,20 +78,24 @@ func PlaceVertexScratch(g *graph.Graph, a *Assignment, v graph.VertexID, scratch
 			best = s
 		case attract[s] > attract[best]:
 			best = s
-		case attract[s] == attract[best] && a.Count(s) < a.Count(best):
+		case attract[s] == attract[best] && countOf(s) < countOf(best):
 			best = s
 		}
 	}
 	if best < 0 {
-		return leastLoaded(a) // every shard above cap: degenerate, rebalance
+		return leastLoaded(k, countOf) // every shard above cap: degenerate, rebalance
 	}
 	return best
 }
 
 // loadCap returns the maximum shard size still eligible for placement. The
 // least-loaded shard is always eligible (its size is at most the average).
-func loadCap(a *Assignment) int {
-	avg := float64(a.Len()) / float64(a.K())
+func loadCap(k int, countOf func(int) int) int {
+	total := 0
+	for s := 0; s < k; s++ {
+		total += countOf(s)
+	}
+	avg := float64(total) / float64(k)
 	limit := int(placeMaxOverload * avg)
 	if limit < 1 {
 		limit = 1
@@ -83,10 +105,10 @@ func loadCap(a *Assignment) int {
 
 // leastLoaded returns the shard with the fewest vertices, lowest index on
 // ties so the choice is deterministic.
-func leastLoaded(a *Assignment) int {
+func leastLoaded(k int, countOf func(int) int) int {
 	best := 0
-	for s := 1; s < a.K(); s++ {
-		if a.Count(s) < a.Count(best) {
+	for s := 1; s < k; s++ {
+		if countOf(s) < countOf(best) {
 			best = s
 		}
 	}

@@ -25,6 +25,19 @@ import (
 // order of first appearance in the blockchain, since vertex IDs are
 // assigned sequentially by the registry).
 
+// streamCapacity is the shared capacity rule of the streaming
+// partitioners: every shard holds at most C = n(1+slack)/k vertices, a
+// hard constraint (full shards are excluded from the ranking, with a
+// least-loaded fallback when every shard is at the cap). LDG and Fennel
+// expose the same Slack knob with the same 0.1 default so their balance
+// guarantees are directly comparable.
+func streamCapacity(n, k int, slack float64) float64 {
+	if slack <= 0 {
+		slack = 0.1
+	}
+	return float64(n) * (1 + slack) / float64(k)
+}
+
 // LDG is the Linear Deterministic Greedy streaming partitioner.
 type LDG struct {
 	// Slack is the allowed overshoot of the capacity C = n(1+Slack)/k.
@@ -39,12 +52,8 @@ func (l LDG) Partition(c *graph.CSR, k int) ([]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: ldg: k must be >= 1, got %d", k)
 	}
-	slack := l.Slack
-	if slack <= 0 {
-		slack = 0.1
-	}
 	n := c.N()
-	capacity := float64(n) * (1 + slack) / float64(k)
+	capacity := streamCapacity(n, k, l.Slack)
 	parts := make([]int, n)
 	sizes := make([]int, k)
 	attract := make([]float64, k)
@@ -92,6 +101,9 @@ type Fennel struct {
 	// Balance controls the α scaling; 1.0 reproduces the paper's
 	// α = √k·m / n^γ.
 	Balance float64
+	// Slack is the allowed overshoot of the hard capacity C = n(1+Slack)/k
+	// backing the soft size penalty, shared with LDG. Default 0.1.
+	Slack float64
 }
 
 var _ Partitioner = Fennel{}
@@ -119,8 +131,9 @@ func (f Fennel) Partition(c *graph.CSR, k int) ([]int, error) {
 	parts := make([]int, n)
 	sizes := make([]float64, k)
 	attract := make([]float64, k)
-	// Hard cap prevents degenerate pile-ups on adversarial streams.
-	capacity := 1.2 * float64(n) / float64(k)
+	// Hard cap prevents degenerate pile-ups on adversarial streams where
+	// the soft α·γ·|S|^(γ−1) penalty loses to a hub's pull.
+	capacity := streamCapacity(n, k, f.Slack)
 
 	for v := int32(0); int(v) < n; v++ {
 		for i := range attract {

@@ -68,15 +68,17 @@ func TestStreamingBeatsHashOnClusters(t *testing.T) {
 	}
 }
 
-func TestLDGOverfullStreamRespectsHardCapacity(t *testing.T) {
-	// Regression for the capacity sign-flip: on a star stream every vertex
-	// is maximally attracted to the hub's shard, so the greedy rule pushes
+func TestStreamingOverfullStarRespectsSharedCapacity(t *testing.T) {
+	// Regression for the capacity sign-flip and for Fennel's once
+	// hard-coded 1.2·n/k cap: on a heavy star stream every vertex is
+	// maximally attracted to the hub's shard, so the greedy rule pushes
 	// one shard toward (and past) its capacity. With the multiplicative
 	// penalty scored instead of enforced, (attract+1)·(1−size/cap) turns
-	// negative past capacity and high attraction ranks worse, inverting the
-	// rule; Stanton–Kliot's capacity is a hard exclusion. Assert the
-	// invariant directly: no vertex is ever placed into a shard that was
-	// already at capacity while another shard had room.
+	// negative past capacity and high attraction ranks worse, inverting
+	// the rule; Stanton–Kliot's capacity is a hard exclusion. Both
+	// streaming partitioners share the n(1+Slack)/k rule (default slack
+	// 0.1), and the invariant holds for both: no vertex is ever placed
+	// into a shard already at capacity while another shard had room.
 	g := graph.New()
 	n := 60
 	for v := 1; v < n; v++ {
@@ -88,34 +90,46 @@ func TestLDGOverfullStreamRespectsHardCapacity(t *testing.T) {
 	}
 	c := graph.NewCSR(g)
 	k := 4
-	slack := 0.1
-	parts, err := LDG{Slack: slack}.Partition(c, k)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := ValidateParts(parts, k); err != nil {
-		t.Fatal(err)
-	}
-	capacity := float64(c.N()) * (1 + slack) / float64(k)
-	sizes := make([]int, k)
-	for i := range c.IDs {
-		s := parts[i]
-		underCapExists := false
-		for _, sz := range sizes {
-			if float64(sz) < capacity {
-				underCapExists = true
-				break
+	for _, cand := range []struct {
+		name  string
+		slack float64
+		p     Partitioner
+	}{
+		{"ldg", 0.1, LDG{Slack: 0.1}},
+		{"ldg-default", 0.1, LDG{}},
+		{"ldg-tight", 0.05, LDG{Slack: 0.05}},
+		{"fennel", 0.1, Fennel{Slack: 0.1}},
+		{"fennel-default", 0.1, Fennel{}},
+		{"fennel-tight", 0.05, Fennel{Slack: 0.05}},
+	} {
+		parts, err := cand.p.Partition(c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateParts(parts, k); err != nil {
+			t.Fatal(err)
+		}
+		capacity := float64(c.N()) * (1 + cand.slack) / float64(k)
+		sizes := make([]int, k)
+		for i := range c.IDs {
+			s := parts[i]
+			underCapExists := false
+			for _, sz := range sizes {
+				if float64(sz) < capacity {
+					underCapExists = true
+					break
+				}
 			}
+			if underCapExists && float64(sizes[s]) >= capacity {
+				t.Fatalf("%s: vertex %d placed into full shard %d (size %d, cap %.2f) while another shard had room",
+					cand.name, i, s, sizes[s], capacity)
+			}
+			sizes[s]++
 		}
-		if underCapExists && float64(sizes[s]) >= capacity {
-			t.Fatalf("vertex %d placed into full shard %d (size %d, cap %.2f) while another shard had room",
-				i, s, sizes[s], capacity)
-		}
-		sizes[s]++
-	}
-	for s, sz := range sizes {
-		if float64(sz) > capacity+1 {
-			t.Errorf("shard %d ended at %d, above capacity %.2f", s, sz, capacity)
+		for s, sz := range sizes {
+			if float64(sz) > capacity+1 {
+				t.Errorf("%s: shard %d ended at %d, above capacity %.2f", cand.name, s, sz, capacity)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"ethpart/internal/graph"
@@ -91,6 +92,22 @@ type Config struct {
 	// TR-METIS requires before firing, filtering out single noisy windows
 	// (a 4-hour window with few transactions has a wild balance reading).
 	TriggerWindows int
+	// DecayHalfLife, when positive, enables windowed decay of the
+	// cumulative activity graph: at every window boundary all vertex and
+	// edge weights are multiplied by 2^(−Window/DecayHalfLife), so an
+	// entry's influence halves every DecayHalfLife of inactivity and
+	// repartitions weigh recent traffic over stale history. Zero disables
+	// decay entirely (full-history mode, byte-identical to a simulator
+	// without the subsystem).
+	DecayHalfLife time.Duration
+	// Horizon is the retention horizon of decay mode: vertices and edges
+	// untouched for at least Horizon are retired from the live graph
+	// (their shard assignments stay sticky, and a reappearing vertex is
+	// re-admitted through the normal first-sight path), which bounds the
+	// live graph — and every repartition — by the active set instead of
+	// the full history. Defaults to 4×DecayHalfLife when decay is enabled;
+	// ignored when it is not.
+	Horizon time.Duration
 	// Multilevel configures the METIS-substitute partitioner.
 	Multilevel multilevel.Config
 	// KL configures the Kernighan–Lin refiner.
@@ -143,6 +160,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TriggerWindows <= 0 {
 		c.TriggerWindows = 6 // one day of sustained degradation
+	}
+	if c.DecayHalfLife > 0 && c.Horizon <= 0 {
+		// Four half-lives: by then an entry's decayed weight has dropped
+		// past 1/16 of its peak — effectively zero on integer weights.
+		c.Horizon = 4 * c.DecayHalfLife
 	}
 	return c
 }
@@ -238,8 +260,28 @@ type Simulator struct {
 
 	lastRepart time.Time
 	started    bool
-	// badWindows counts consecutive over-threshold windows (TR-METIS).
-	badWindows int
+	finished   bool
+	// badWindows counts consecutive over-threshold observed windows
+	// (TR-METIS); quiet windows neither extend nor reset the streak, but
+	// a quiet gap longer than TriggerWindows ages the evidence out.
+	// lastBadWindow is the flushed-window count at the streak's newest
+	// evidence, for measuring that gap.
+	badWindows    int
+	lastBadWindow int
+
+	// Decay mode (Config.DecayHalfLife > 0): the per-window weight
+	// multiplier, the retention horizon in windows, and whether the
+	// method needs the since-last-repartition window graph at all
+	// (TR-METIS repartitions the decayed live graph instead).
+	// liveCounts tracks live-graph vertices per shard — retired vertices
+	// keep sticky assignments, so assign.Count measures dead history;
+	// placement capacity and static balance must follow what actually
+	// exists. Maintained incrementally (first sight, retirement, moves)
+	// and only in decay mode.
+	decayFactor float64
+	decayMaxAge uint32
+	needWindow  bool
+	liveCounts  []int
 
 	result Result
 }
@@ -250,11 +292,16 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Method < MethodHash || cfg.Method > MethodTRMetis {
 		return nil, fmt.Errorf("sim: invalid method %d", cfg.Method)
 	}
+	if cfg.Horizon > 0 && cfg.DecayHalfLife <= 0 {
+		// A horizon without a half-life would be silently ignored —
+		// full-history mode with the caller believing memory is bounded.
+		return nil, fmt.Errorf("sim: Horizon is set but DecayHalfLife is not; decay needs both (or neither)")
+	}
 	assign, err := partition.NewAssignment(cfg.K)
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{
+	s := &Simulator{
 		cfg:          cfg,
 		full:         graph.New(),
 		window:       graph.New(),
@@ -266,8 +313,41 @@ func New(cfg Config) (*Simulator, error) {
 		winLoad:      make([]int64, cfg.K),
 		runLoad:      make([]int64, cfg.K),
 		result:       Result{Method: cfg.Method, K: cfg.K},
-	}, nil
+	}
+	if cfg.DecayHalfLife > 0 {
+		s.decayFactor = math.Exp2(-float64(cfg.Window) / float64(cfg.DecayHalfLife))
+		if s.decayFactor == 0 {
+			// A half-life thousands of times shorter than the window
+			// underflows Exp2 to zero, which would read as "decay off".
+			// Any such factor already means "every weight collapses to the
+			// floor of one within a single sweep", so the smallest positive
+			// float keeps exactly those semantics while keeping decay on.
+			s.decayFactor = math.SmallestNonzeroFloat64
+		}
+		// Age is counted in whole windows and an entry touched just before
+		// a boundary is already age 1 at the next sweep, so retirement at
+		// age maxAge means a minimum idle time of (maxAge−1) windows; the
+		// +1 guarantees that minimum is at least Horizon, honouring the
+		// "untouched for at least Horizon" contract (and keeping
+		// Horizon <= Window from degenerating into wiping every entry at
+		// every boundary).
+		s.decayMaxAge = uint32((int64(cfg.Horizon)+int64(cfg.Window)-1)/int64(cfg.Window) + 1)
+		s.liveCounts = make([]int, cfg.K)
+	}
+	// The window graph only serves methods that repartition over the
+	// since-last-repartition slice; under decay TR-METIS switches to the
+	// decayed live graph, so accumulating it would only burn memory.
+	switch cfg.Method {
+	case MethodKL, MethodRMetis:
+		s.needWindow = true
+	case MethodTRMetis:
+		s.needWindow = !s.decayEnabled()
+	}
+	return s, nil
 }
+
+// decayEnabled reports whether windowed decay mode is on.
+func (s *Simulator) decayEnabled() bool { return s.decayFactor > 0 }
 
 // Assignment exposes the live assignment (read-only use).
 func (s *Simulator) Assignment() *partition.Assignment { return s.assign }
@@ -288,6 +368,9 @@ func (s *Simulator) Process(rec trace.Record) error {
 	for t.Sub(s.winStart) >= s.cfg.Window {
 		s.flushWindow()
 		s.winStart = s.winStart.Add(s.cfg.Window)
+		// Decay ages the live graph before the policy looks at it, so a
+		// firing repartition sees this window's weights already decayed.
+		s.decayStep()
 		// Threshold policy is evaluated at window boundaries; periodic
 		// policies by elapsed time.
 		if err := s.maybeRepartition(s.winStart); err != nil {
@@ -298,24 +381,40 @@ func (s *Simulator) Process(rec trace.Record) error {
 	u := graph.VertexID(rec.From)
 	v := graph.VertexID(rec.To)
 	newEdge := u != v && s.full.EdgeWeight(u, v) == 0
+	// In decay mode, endpoints absent from the live graph (brand new or
+	// retired-and-reappearing) are about to become live; their shard joins
+	// the live counts after placement resolves it.
+	var newU, newV bool
+	if s.decayEnabled() {
+		newU = !s.full.HasVertex(u)
+		newV = u != v && !s.full.HasVertex(v)
+	}
 
 	if err := rec.Apply(s.full); err != nil {
 		return err
 	}
-	if s.cfg.Method == MethodRMetis || s.cfg.Method == MethodTRMetis || s.cfg.Method == MethodKL {
+	if s.needWindow {
 		if err := rec.Apply(s.window); err != nil {
 			return err
 		}
 	}
 
-	// Place endpoints that are new to the assignment.
+	// Place endpoints that are new to the assignment. Each endpoint joins
+	// the live counts right after its own placement, before the next
+	// placement reads them — mirroring when the assignment's counts move.
 	su, err := s.placeIfNew(u)
 	if err != nil {
 		return err
 	}
+	if newU {
+		s.liveCounts[su]++
+	}
 	sv, err := s.placeIfNew(v)
 	if err != nil {
 		return err
+	}
+	if newV {
+		s.liveCounts[sv]++
 	}
 
 	// Update cumulative cut state.
@@ -361,7 +460,9 @@ func (s *Simulator) placeIfNew(v graph.VertexID) (int, error) {
 	if s.cfg.Method == MethodHash || s.cfg.HashPlacement {
 		shard = s.hash.ShardOf(v, s.cfg.K)
 	} else {
-		shard = partition.PlaceVertexScratch(s.full, s.assign, v, s.placeScratch)
+		// liveCounts is nil outside decay mode, falling back to the
+		// assignment's cumulative counts.
+		shard = partition.PlaceVertexCounts(s.full, s.assign, v, s.placeScratch, s.liveCounts)
 	}
 	if _, _, err := s.assign.Assign(v, shard); err != nil {
 		return 0, err
@@ -399,10 +500,70 @@ func (s *Simulator) flushWindow() {
 	s.winReparted = false
 }
 
-// staticBalance is Eq. 2 over assignment vertex counts.
+// decayStep ages the cumulative graph by one window in decay mode: weights
+// shrink by the per-window factor, entries beyond the retention horizon
+// retire, and the cumulative cut counters are rebuilt over the surviving
+// live graph so StaticCut stays Eq. 1 over exactly what the partitioners
+// see. The rebuild is O(live edges) — the same order as the decay sweep it
+// follows — and happens only in decay mode, so disabled runs never touch
+// this path.
+func (s *Simulator) decayStep() {
+	if !s.decayEnabled() {
+		return
+	}
+	if s.full.VertexCount() == 0 {
+		// Nothing live: the sweep and the recount would both be no-ops.
+		// A long quiet gap rolls over thousands of windows; skipping here
+		// keeps that O(windows), not O(windows × peak slots). Skipping the
+		// epoch advance is safe — ages only matter relative to sweeps that
+		// actually saw something.
+		return
+	}
+	s.full.DecayRetired(s.decayFactor, s.decayMaxAge, func(v graph.VertexID) {
+		// Retired vertices keep their sticky assignment but leave the
+		// live population.
+		if shard, ok := s.assign.ShardOf(v); ok {
+			s.liveCounts[shard]--
+		}
+	})
+	s.recountCut()
+}
+
+// recountCut rebuilds the cumulative cut counters from the live graph and
+// the current assignment. Every live vertex has a shard (placement happens
+// on first sight and assignments are sticky through retirement), so the
+// counters stay exact under decay and retirement.
+func (s *Simulator) recountCut() {
+	s.cutEdges, s.totalEdges = 0, 0
+	s.cutWeight, s.totalWeight = 0, 0
+	s.full.Edges(func(u, v graph.VertexID, w int64) bool {
+		su, _ := s.assign.ShardOf(u)
+		sv, _ := s.assign.ShardOf(v)
+		s.totalEdges++
+		s.totalWeight += w
+		if su != sv {
+			s.cutEdges++
+			s.cutWeight += w
+		}
+		return true
+	})
+}
+
+// staticBalance is Eq. 2 over vertex counts: assignment counts in
+// full-history mode, per-shard live counts in decay mode. Retired vertices
+// keep sticky assignments but no longer describe what the partitioners
+// balance, so decay mode counts the live population — the same one
+// StaticCut is recounted over and placement capacity is measured against —
+// or the static metrics would drift onto different vertex sets.
 func (s *Simulator) staticBalance() float64 {
-	for i := range s.loadScratch {
-		s.loadScratch[i] = int64(s.assign.Count(i))
+	if s.decayEnabled() {
+		for i := range s.loadScratch {
+			s.loadScratch[i] = int64(s.liveCounts[i])
+		}
+	} else {
+		for i := range s.loadScratch {
+			s.loadScratch[i] = int64(s.assign.Count(i))
+		}
 	}
 	return metrics.LoadBalance(s.loadScratch)
 }
@@ -417,17 +578,35 @@ func (s *Simulator) maybeRepartition(now time.Time) error {
 			return nil
 		}
 	case MethodTRMetis:
-		if len(s.result.Windows) == 0 {
+		// The paper's trigger: TriggerWindows *consecutive* degraded
+		// windows. A quiet window (no interactions) carries no evidence
+		// either way — it neither extends nor erases the streak, so a
+		// one-window lull during a multi-window rollover cannot wipe out
+		// five genuinely bad windows. Two staleness guards bound the
+		// evidence: a quiet gap longer than TriggerWindows windows ages
+		// the streak out entirely (degradation separated by more idle
+		// time than the trigger's own timescale is not "consecutive"),
+		// and a firing always requires the just-flushed window itself to
+		// be degraded — evidence accumulated while MinRepartitionGap
+		// blocked the trigger can never fire on its own once the gap
+		// elapses, only a fresh degraded window can.
+		winCount := len(s.result.Windows)
+		if winCount == 0 {
 			return nil
 		}
-		last := s.result.Windows[len(s.result.Windows)-1]
-		bad := last.Interactions > 0 &&
-			(last.DynamicCut > s.cfg.CutThreshold || last.DynamicBalance > s.cfg.BalanceThreshold)
-		if bad {
-			s.badWindows++
-		} else {
-			s.badWindows = 0
+		last := s.result.Windows[winCount-1]
+		if last.Interactions == 0 {
+			return nil
 		}
+		if last.DynamicCut <= s.cfg.CutThreshold && last.DynamicBalance <= s.cfg.BalanceThreshold {
+			s.badWindows = 0
+			return nil
+		}
+		if s.badWindows > 0 && winCount-s.lastBadWindow-1 > s.cfg.TriggerWindows {
+			s.badWindows = 0 // evidence aged out across the quiet gap
+		}
+		s.badWindows++
+		s.lastBadWindow = winCount
 		if now.Sub(s.lastRepart) < s.cfg.MinRepartitionGap {
 			return nil
 		}
@@ -472,11 +651,19 @@ func (s *Simulator) repartition(now time.Time) error {
 			return err
 		}
 	case MethodRMetis, MethodTRMetis:
-		// Reduced graph: only the window since the last repartition.
-		if s.window.VertexCount() == 0 {
+		// Reduced graph: the window since the last repartition — except
+		// TR-METIS in decay mode, which partitions the decayed live graph:
+		// the same recency bias with heavy recent edges still outvoting
+		// one-off traffic, and bounded by the retention horizon instead of
+		// the (unbounded) time between firings.
+		src := s.window
+		if s.cfg.Method == MethodTRMetis && s.decayEnabled() {
+			src = s.full
+		}
+		if src.VertexCount() == 0 {
 			break
 		}
-		csr := s.csrb.Build(s.window)
+		csr := s.csrb.Build(src)
 		parts, err := s.ml.Partition(csr, s.cfg.K)
 		if err != nil {
 			return fmt.Errorf("sim: multilevel partition (window): %w", err)
@@ -520,6 +707,13 @@ func (s *Simulator) applyParts(csr *graph.CSR, parts []int) (int, error) {
 				slots += int64(s.cfg.StorageSlots(id))
 			}
 			moves++
+			// Live counts follow the move. A window-graph vertex (KL,
+			// R-METIS) may already have retired from the live graph; its
+			// sticky assignment still moves, the live population doesn't.
+			if s.decayEnabled() && s.full.HasVertex(id) {
+				s.liveCounts[old]--
+				s.liveCounts[parts[i]]++
+			}
 		}
 		if _, _, err := s.assign.Assign(id, parts[i]); err != nil {
 			return moves, fmt.Errorf("sim: applying partition: %w", err)
@@ -562,11 +756,14 @@ func (s *Simulator) moveCutDelta(v graph.VertexID, old, next int) {
 	s.full.InNeighbors(v, adjust)
 }
 
-// Finish flushes the open window and computes run-level metrics.
+// Finish flushes the open window and computes run-level metrics. It is
+// idempotent: repeated calls return the same result without flushing a
+// duplicate trailing window.
 func (s *Simulator) Finish() *Result {
-	if s.started {
+	if s.started && !s.finished {
 		s.flushWindow()
 	}
+	s.finished = true
 	res := &s.result
 	res.OverallDynamicBalance = metrics.LoadBalance(s.runLoad)
 	if s.runTotW > 0 {

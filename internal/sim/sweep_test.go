@@ -41,6 +41,38 @@ func TestRunSweepMatchesSerialReplay(t *testing.T) {
 	}
 }
 
+// TestRunSweepDecayedMatchesSerial extends the sweep contract to decay
+// mode: parallel replays of decayed configurations (shared read-only trace,
+// per-worker graphs with retirement churning the free lists) must stay
+// deeply identical to serial replays. CI runs this under -race, so it also
+// proves the decay sweep shares nothing across workers.
+func TestRunSweepDecayedMatchesSerial(t *testing.T) {
+	gt := smallTrace(t)
+	var cfgs []Config
+	for _, m := range Methods() {
+		cfgs = append(cfgs, Config{
+			Method: m, K: 4,
+			Window:           4 * time.Hour,
+			RepartitionEvery: 3 * 24 * time.Hour,
+			DecayHalfLife:    24 * time.Hour,
+			Horizon:          4 * 24 * time.Hour,
+		})
+	}
+	got, err := RunSweep(gt, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		want, err := Replay(gt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("%v k=%d decayed: sweep result differs from serial replay", cfg.Method, cfg.K)
+		}
+	}
+}
+
 // TestRunSweepEmpty checks the no-op edge case.
 func TestRunSweepEmpty(t *testing.T) {
 	results, err := RunSweep(nil, nil)
