@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ethpart/internal/chain"
+	"ethpart/internal/directory"
 	"ethpart/internal/evm"
 	"ethpart/internal/experiments"
 	"ethpart/internal/graph"
@@ -576,6 +577,113 @@ func BenchmarkDecayRepartition(b *testing.B) {
 				b.ReportMetric(float64(res.Vertices), "live-vertices")
 			})
 		}
+	}
+}
+
+// benchDirectory builds a directory holding n hot entries (plus a retired
+// cold slice) for the serving-path benchmarks.
+func benchDirectory(b *testing.B, n int) *directory.Directory {
+	b.Helper()
+	d := directory.New(directory.Config{})
+	set := make([]directory.Move, n)
+	for i := range set {
+		set[i] = directory.Move{V: graph.VertexID(i), To: i % 8}
+	}
+	if _, err := d.Commit(directory.Batch{Set: set}); err != nil {
+		b.Fatal(err)
+	}
+	// Retire a tenth so lookups also exercise the cold tier's fallthrough.
+	retire := make([]graph.VertexID, 0, n/10)
+	for i := 0; i < n; i += 10 {
+		retire = append(retire, graph.VertexID(i))
+	}
+	if _, err := d.Commit(directory.Batch{Retire: retire}); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkDirectoryLookup measures the serving path of the placement
+// directory: lock-free lookups against a pinned snapshot and through a
+// fresh Current() load per lookup, fanned across GOMAXPROCS goroutines
+// (RunParallel). This is the per-request cost a front end pays to answer
+// "which shard owns account X?"; it runs in the CI bench smoke so the
+// serving path is tracked alongside repartition cost.
+func BenchmarkDirectoryLookup(b *testing.B) {
+	const n = 1 << 16
+	d := benchDirectory(b, n)
+	for _, mode := range []struct {
+		name   string
+		pinned bool
+	}{{"pinned-snapshot", true}, {"current-per-lookup", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				snap := d.Current()
+				state := uint64(0x9e3779b97f4a7c15)
+				var sink int
+				for pb.Next() {
+					state = state*6364136223846793005 + 1442695040888963407
+					v := graph.VertexID((state >> 33) % n)
+					if mode.pinned {
+						s, _ := snap.Lookup(v)
+						sink += s
+					} else {
+						s, _ := d.Current().Lookup(v)
+						sink += s
+					}
+				}
+				_ = sink
+			})
+		})
+	}
+}
+
+// BenchmarkDirectoryWaveCommit measures the write path: committing a
+// repartition's whole move set as one epoch flip, with a concurrent
+// reader pinning snapshots throughout (the RCU cost is paid entirely by
+// the writer). waves/entry reports the per-move cost of a 1024-move wave
+// against a 64k-entry directory.
+func BenchmarkDirectoryWaveCommit(b *testing.B) {
+	const (
+		n        = 1 << 16
+		waveSize = 1024
+	)
+	d := benchDirectory(b, n)
+	stop := make(chan struct{})
+	go func() { // background reader: the serving traffic waves flip under
+		state := uint64(7)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := d.Current()
+			for i := 0; i < 128; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				snap.Lookup(graph.VertexID((state >> 33) % n))
+			}
+		}
+	}()
+	wave := make([]directory.Move, waveSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range wave {
+			wave[j] = directory.Move{
+				V:  graph.VertexID((i*waveSize + j*97) % n),
+				To: (i + j) % 8,
+			}
+		}
+		if _, err := d.Commit(directory.Batch{Set: wave}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N*waveSize)/b.Elapsed().Seconds(), "moves/s")
 	}
 }
 

@@ -8,6 +8,8 @@
 //	        [-decay-half-life 168h] [-horizon 672h]
 //	ethpart ops [-seed 1] [-scale 0.002] [-k 2] [-csv] [-parallel]
 //	        [-decay-half-life 168h] [-horizon 672h]
+//	ethpart bench-dir [-readers 1,2,4] [-duration 1s] [-method tr-metis]
+//	        [-eras 12] [-decay-half-life 12h] [-csv]
 //
 // With -decay-half-life the replay runs in windowed-decay mode: the
 // cumulative graph ages at every window boundary and entries idle past the
@@ -21,6 +23,18 @@
 // settlement latency, migrated state and failed transactions. With
 // -parallel the chain also runs on the parallel per-shard engine
 // (byte-identical results) and the table reports its per-block speedup.
+// Homes are resolved through the concurrent placement directory
+// (internal/directory), the same serving path bench-dir loads.
+//
+// The bench-dir subcommand is the serving-path load driver: it captures a
+// drifting-era trace's placement/repartition/retirement schedule, then
+// replays those commits against the epoch-versioned directory while G
+// reader goroutines issue synthetic lookups, sweeping G and reporting
+// lookups/sec, sampled p50/p99 lookup latency, and the epoch-flip stall.
+//
+// -horizon without -decay-half-life is rejected at flag-parse time by
+// every subcommand (the horizon is the decay subsystem's retention bound
+// and would otherwise be silently ignored).
 package main
 
 import (
@@ -41,15 +55,30 @@ import (
 func main() {
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "ops" {
+	switch {
+	case len(args) > 0 && args[0] == "ops":
 		err = runOps(args[1:])
-	} else {
+	case len(args) > 0 && args[0] == "bench-dir":
+		err = runBenchDir(args[1:])
+	default:
 		err = run(args)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ethpart:", err)
 		os.Exit(1)
 	}
+}
+
+// validateDecayFlags rejects -horizon without -decay-half-life at flag
+// parse time, shared by every subcommand that exposes the pair. Without
+// this the rejection only surfaces when the simulator is constructed —
+// after trace loading or workload generation has already burned minutes.
+func validateDecayFlags(decay, horizon time.Duration) error {
+	if horizon > 0 && decay <= 0 {
+		return fmt.Errorf(
+			"-horizon %v requires -decay-half-life: the horizon is the decay subsystem's retention bound and would be silently ignored without a half-life; pass both or neither", horizon)
+	}
+	return nil
 }
 
 func run(args []string) error {
@@ -64,6 +93,9 @@ func run(args []string) error {
 	decay := fs.Duration("decay-half-life", 0, "enable windowed graph decay with this half-life (0 = full history)")
 	horizon := fs.Duration("horizon", 0, "decay retention horizon (0 = 4x the half-life)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateDecayFlags(*decay, *horizon); err != nil {
 		return err
 	}
 	if *tracePath == "" {

@@ -118,6 +118,65 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+// TestHorizonFlagFailsFast pins the flag-parse-time validation: -horizon
+// without -decay-half-life must be rejected by every subcommand before any
+// trace is read or workload generated (the simulator would reject it too,
+// but only after minutes of setup), with a message that names both flags.
+func TestHorizonFlagFailsFast(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		// run would otherwise fail on the missing trace file — the decay
+		// validation must come first.
+		{"replay", func() error {
+			return run([]string{"-trace", "does-not-exist.csv", "-horizon", "24h"})
+		}},
+		{"ops", func() error { return runOps([]string{"-horizon", "24h"}) }},
+		{"bench-dir", func() error {
+			return runBenchDir([]string{"-decay-half-life", "0", "-horizon", "24h"})
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Errorf("%s: -horizon without -decay-half-life accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-decay-half-life") {
+			t.Errorf("%s: error %q does not name the missing flag", tc.name, err)
+		}
+	}
+	// The valid pairing still parses (and fails later only for unrelated
+	// reasons, e.g. the missing trace file).
+	err := run([]string{"-trace", "does-not-exist.csv",
+		"-decay-half-life", "6h", "-horizon", "24h"})
+	if err == nil || strings.Contains(err.Error(), "-decay-half-life") {
+		t.Errorf("valid decay pair rejected at flag parse: %v", err)
+	}
+}
+
+// TestBenchDir smoke-runs the serving-path load driver at a tiny scale:
+// two reader counts, table and CSV, with the schedule capture, the commit
+// replay and the latency sweep all exercised.
+func TestBenchDir(t *testing.T) {
+	for _, extra := range [][]string{nil, {"-csv"}} {
+		args := append([]string{
+			"-eras", "6", "-windows-per-era", "6",
+			"-readers", "1,2", "-duration", "50ms",
+		}, extra...)
+		if err := runBenchDir(args); err != nil {
+			t.Errorf("bench-dir %v: %v", extra, err)
+		}
+	}
+	if err := runBenchDir([]string{"-readers", "0"}); err == nil {
+		t.Error("bench-dir -readers 0 accepted")
+	}
+	if err := runBenchDir([]string{"-method", "bogus"}); err == nil {
+		t.Error("bench-dir bad method accepted")
+	}
+}
+
 func TestReplayEachMethod(t *testing.T) {
 	path := writeTestTrace(t)
 	for _, method := range []string{"hash", "kl", "metis", "r-metis", "tr-metis"} {

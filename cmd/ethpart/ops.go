@@ -33,6 +33,9 @@ func runOps(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := validateDecayFlags(*decay, *horizon); err != nil {
+		return err
+	}
 	if *k < 1 {
 		return fmt.Errorf("ops: k must be >= 1, got %d", *k)
 	}

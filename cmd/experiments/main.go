@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [flags] fig1|fig2|fig3|fig4|fig5|all
+//	experiments [flags] fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|all
 //
 // Flags:
 //
@@ -51,13 +51,16 @@ func run(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("expected one subcommand: fig1|fig2|fig3|fig4|fig5|costs|shardaware|all")
+		return fmt.Errorf("expected one subcommand: fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|all")
 	}
 	cmd := fs.Arg(0)
 
-	// shardaware generates its own pair of histories.
+	// shardaware and decaycost generate their own histories.
 	if cmd == "shardaware" {
 		return shardaware(*seed, *scale, output{dir: *csvDir}, *k, *decay, *horizon)
+	}
+	if cmd == "decaycost" {
+		return decaycost(*seed, output{dir: *csvDir}, *k, *decay, *horizon)
 	}
 
 	fmt.Printf("generating synthetic history (seed=%d scale=%g)...\n", *seed, *scale)

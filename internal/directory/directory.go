@@ -1,0 +1,397 @@
+// Package directory implements the serving layer's account→shard placement
+// directory: an epoch-versioned, concurrent map from vertex IDs to shards
+// that answers "which shard owns account X?" at high read rates while a
+// repartitioner mutates the mapping underneath.
+//
+// The design is RCU-shaped. All state reachable from a published *Snapshot
+// is immutable; readers load the current snapshot with one atomic pointer
+// read and then perform any number of lookups against a frozen, consistent
+// view — no locks, no retries, no torn reads. Writers serialise on a mutex,
+// build the next snapshot by copying only what they touch, and publish it
+// with one atomic store. A repartition's whole move set commits as a single
+// epoch flip: no reader can ever observe half a wave.
+//
+// Storage is two-tiered, mirroring the dense/spill split of the partition
+// and graph packages:
+//
+//   - the hot tier is a paged dense table (VertexID-indexed, fixed-size
+//     copy-on-write pages), sized for the live account population that
+//     placement and repartitioning actually touch;
+//   - the cold tier is a compact map holding sticky assignments of retired
+//     accounts (and of IDs outside the dense region). Retirement spills an
+//     entry from a page into the cold map; when the spill empties a page
+//     the page is dropped entirely, so the hot tier's footprint follows the
+//     live set instead of the full history — the directory's absorption of
+//     the "horizon-aware assignment compaction" roadmap item.
+//
+// A bounded journal retains the last JournalDepth snapshots by epoch, so a
+// reader that pinned epoch E mid-flight can re-acquire exactly that view
+// (AtEpoch) for as long as the journal keeps it.
+package directory
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ethpart/internal/graph"
+)
+
+// NoShard is returned (with ok == false) for vertices the directory has
+// never seen.
+const NoShard = -1
+
+// noShard is the unoccupied-entry sentinel inside hot pages.
+const noShard int32 = -1
+
+const (
+	// pageBits sizes the hot tier's copy-on-write pages: 1<<pageBits
+	// entries (4 KiB of int32s). Small enough that a single placement's
+	// page copy is cheap, large enough that the page-pointer table stays
+	// tiny (one pointer per 1024 accounts).
+	pageBits = 10
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// hotIDLimit bounds the paged hot tier, matching the dense ID region of
+// the graph and partition packages (IDs come from the trace registry,
+// which assigns them densely from zero). Callers minting VertexIDs from
+// address bits land in the cold map instead of forcing giant page tables.
+const hotIDLimit = graph.VertexID(1) << 22
+
+// page is one fixed-size block of the hot tier. Pages reachable from a
+// published snapshot are immutable; a writer copies a page before its
+// first write of a commit.
+type page [pageSize]int32
+
+// Snapshot is one immutable, internally consistent version of the
+// directory. Any number of goroutines may share a Snapshot; it never
+// changes after publication, so a reader holding one sees a single epoch's
+// view across arbitrarily many lookups.
+type Snapshot struct {
+	epoch uint64
+	// pages is the hot tier; nil entries are wholly unoccupied (or
+	// compacted-away) pages.
+	pages []*page
+	// cold is the cold tier: retired sticky assignments plus out-of-range
+	// IDs. May be nil when nothing has ever spilled. Hot and cold are
+	// disjoint: a vertex lives in exactly one tier.
+	cold map[graph.VertexID]int32
+	// hot and entries count occupied hot-tier slots and total mapped
+	// vertices (hot + cold).
+	hot, entries int
+}
+
+// Epoch returns the snapshot's version number. Epochs start at zero (the
+// empty directory) and increase by one per commit.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of mapped vertices in this view.
+func (s *Snapshot) Len() int { return s.entries }
+
+// HotLen returns the number of hot-tier entries in this view.
+func (s *Snapshot) HotLen() int { return s.hot }
+
+// ColdLen returns the number of cold-tier (retired/spilled) entries.
+func (s *Snapshot) ColdLen() int { return s.entries - s.hot }
+
+// Lookup returns the shard of v in this view. The hot tier is a bounds
+// check, two loads and a compare; only misses (unknown or retired
+// vertices) touch the cold map.
+func (s *Snapshot) Lookup(v graph.VertexID) (int, bool) {
+	if v < hotIDLimit {
+		if p := int(v >> pageBits); p < len(s.pages) {
+			if pg := s.pages[p]; pg != nil {
+				if sh := pg[v&pageMask]; sh != noShard {
+					return int(sh), true
+				}
+			}
+		}
+	}
+	if s.cold != nil {
+		if sh, ok := s.cold[v]; ok {
+			return int(sh), true
+		}
+	}
+	return NoShard, false
+}
+
+// Each calls fn for every mapped vertex of the view: hot tier in ascending
+// ID order, then cold entries in unspecified order. Stops early when fn
+// returns false.
+func (s *Snapshot) Each(fn func(v graph.VertexID, shard int) bool) {
+	for p, pg := range s.pages {
+		if pg == nil {
+			continue
+		}
+		base := graph.VertexID(p) << pageBits
+		for i, sh := range pg {
+			if sh == noShard {
+				continue
+			}
+			if !fn(base+graph.VertexID(i), int(sh)) {
+				return
+			}
+		}
+	}
+	for v, sh := range s.cold {
+		if !fn(v, int(sh)) {
+			return
+		}
+	}
+}
+
+// Move is one mapping update: vertex V is owned by shard To.
+type Move struct {
+	V  graph.VertexID
+	To int
+}
+
+// Batch is the unit of atomicity: everything in one Batch becomes visible
+// together, as a single epoch flip.
+//
+// Set entries update the mapping wherever the vertex currently lives: a
+// new vertex joins the hot tier, an existing hot entry is overwritten in
+// place, and a cold (retired) entry is promoted back into the hot tier —
+// a repartition moving a sticky assignment re-hydrates it. Retire entries
+// spill the vertex's current hot mapping into the cold map (no-ops for
+// vertices already cold or never seen).
+type Batch struct {
+	Set    []Move
+	Retire []graph.VertexID
+}
+
+// Config parameterises a Directory.
+type Config struct {
+	// JournalDepth is how many recent snapshots stay reachable by epoch
+	// through AtEpoch. Zero means the default of 16. The journal bounds
+	// how long an in-flight reader can lag the writer and still re-pin
+	// its epoch; snapshots older than the journal are garbage once the
+	// last reader drops them.
+	JournalDepth int
+}
+
+// Directory is the concurrent placement directory. Lookups (through
+// Current/AtEpoch snapshots) are lock-free and safe from any number of
+// goroutines; Commit/Place serialise internally, so multiple writers are
+// safe too (though the intended shape is one publisher).
+type Directory struct {
+	mu   sync.Mutex
+	view atomic.Pointer[Snapshot]
+
+	journalDepth int
+	journal      []*Snapshot // ring, len == journalDepth
+	jhead        int
+
+	// pageLive counts occupied slots per hot page (writer-owned; guarded
+	// by mu) so retirement can drop pages that empty out.
+	pageLive []int32
+
+	// Cumulative writer-side counters (guarded by mu).
+	flips, retired, rehydrated uint64
+}
+
+// New returns an empty directory at epoch zero.
+func New(cfg Config) *Directory {
+	if cfg.JournalDepth <= 0 {
+		cfg.JournalDepth = 16
+	}
+	d := &Directory{
+		journalDepth: cfg.JournalDepth,
+		journal:      make([]*Snapshot, cfg.JournalDepth),
+	}
+	root := &Snapshot{}
+	d.view.Store(root)
+	d.journal[0] = root
+	return d
+}
+
+// Current returns the latest published snapshot. The returned view is
+// immutable; hold it for as many lookups as need to be mutually
+// consistent, then drop it.
+func (d *Directory) Current() *Snapshot { return d.view.Load() }
+
+// Epoch returns the latest published epoch.
+func (d *Directory) Epoch() uint64 { return d.view.Load().epoch }
+
+// AtEpoch returns the journaled snapshot for epoch e, if the bounded
+// journal still retains it.
+func (d *Directory) AtEpoch(e uint64) (*Snapshot, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, s := range d.journal {
+		if s != nil && s.epoch == e {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Place maps a single vertex, as its own epoch flip. It is Commit of a
+// one-entry batch; bulk callers should batch.
+func (d *Directory) Place(v graph.VertexID, shard int) (uint64, error) {
+	return d.Commit(Batch{Set: []Move{{V: v, To: shard}}})
+}
+
+// Commit atomically publishes one batch and returns the new epoch. An
+// empty batch still flips the epoch (callers that want "no change, no
+// flip" should skip the call — the Publisher does).
+func (d *Directory) Commit(b Batch) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Validate the whole batch before touching any writer state: a
+	// mid-batch rejection after mutating d.pageLive would leave the
+	// occupancy bookkeeping out of sync with the (discarded) snapshot,
+	// silently disabling page-drop compaction for the affected pages.
+	for _, m := range b.Set {
+		if m.To < 0 {
+			return 0, fmt.Errorf("directory: set %d: negative shard %d", m.V, m.To)
+		}
+	}
+
+	cur := d.view.Load()
+	next := &Snapshot{
+		epoch:   cur.epoch + 1,
+		pages:   cur.pages,
+		cold:    cur.cold,
+		hot:     cur.hot,
+		entries: cur.entries,
+	}
+	// Copy-on-write bookkeeping for this commit: which pages (and whether
+	// the page table and cold map) are already private to next.
+	var pagesOwned, coldOwned bool
+	owned := make(map[int]bool)
+
+	ownPages := func(minLen int) {
+		if !pagesOwned || len(next.pages) < minLen {
+			grown := make([]*page, max(minLen, len(next.pages)))
+			copy(grown, next.pages)
+			next.pages = grown
+			pagesOwned = true
+		}
+		if len(d.pageLive) < len(next.pages) {
+			d.pageLive = append(d.pageLive, make([]int32, len(next.pages)-len(d.pageLive))...)
+		}
+	}
+	ownPage := func(p int) *page {
+		ownPages(p + 1)
+		if owned[p] {
+			return next.pages[p]
+		}
+		var np page
+		if old := next.pages[p]; old != nil {
+			np = *old
+		} else {
+			for i := range np {
+				np[i] = noShard
+			}
+		}
+		next.pages[p] = &np
+		owned[p] = true
+		return &np
+	}
+	ownCold := func() map[graph.VertexID]int32 {
+		if !coldOwned {
+			nc := make(map[graph.VertexID]int32, len(next.cold)+len(b.Set))
+			for k, v := range next.cold {
+				nc[k] = v
+			}
+			next.cold = nc
+			coldOwned = true
+		}
+		return next.cold
+	}
+
+	for _, m := range b.Set {
+		if m.V >= hotIDLimit {
+			// Out-of-range IDs live in the cold map permanently.
+			cold := ownCold()
+			if _, ok := cold[m.V]; !ok {
+				next.entries++
+			}
+			cold[m.V] = int32(m.To)
+			continue
+		}
+		p := int(m.V >> pageBits)
+		pg := ownPage(p)
+		slot := m.V & pageMask
+		if pg[slot] == noShard {
+			// Hot miss: brand new, or a cold entry re-hydrating. Promotion
+			// deletes the cold copy so the tiers stay disjoint.
+			if next.cold != nil {
+				if _, ok := next.cold[m.V]; ok {
+					delete(ownCold(), m.V)
+					next.entries--
+					d.rehydrated++
+				}
+			}
+			next.hot++
+			next.entries++
+			d.pageLive[p]++
+		}
+		pg[slot] = int32(m.To)
+	}
+
+	for _, v := range b.Retire {
+		if v >= hotIDLimit {
+			continue // already cold-resident by construction
+		}
+		p := int(v >> pageBits)
+		if p >= len(next.pages) || next.pages[p] == nil {
+			continue
+		}
+		slot := v & pageMask
+		if next.pages[p][slot] == noShard {
+			continue // unknown or already retired
+		}
+		pg := ownPage(p)
+		ownCold()[v] = pg[slot]
+		pg[slot] = noShard
+		next.hot--
+		d.pageLive[p]--
+		d.retired++
+		if d.pageLive[p] == 0 {
+			// The spill emptied the page: drop it so the hot tier's
+			// footprint tracks the live set (compaction).
+			ownPages(p + 1)
+			next.pages[p] = nil
+			delete(owned, p)
+		}
+	}
+
+	d.flips++
+	d.jhead = (d.jhead + 1) % d.journalDepth
+	d.journal[d.jhead] = next
+	d.view.Store(next)
+	return next.epoch, nil
+}
+
+// Stats is a point-in-time summary of the directory for reporting.
+type Stats struct {
+	Epoch      uint64
+	Entries    int
+	Hot, Cold  int
+	Pages      int // allocated (non-nil) hot pages in the current view
+	Flips      uint64
+	Retired    uint64
+	Rehydrated uint64
+}
+
+// Stats returns current counters.
+func (d *Directory) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.view.Load()
+	pages := 0
+	for _, pg := range s.pages {
+		if pg != nil {
+			pages++
+		}
+	}
+	return Stats{
+		Epoch: s.epoch, Entries: s.entries, Hot: s.hot, Cold: s.entries - s.hot,
+		Pages: pages, Flips: d.flips, Retired: d.retired, Rehydrated: d.rehydrated,
+	}
+}

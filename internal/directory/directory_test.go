@@ -1,0 +1,295 @@
+package directory
+
+import (
+	"testing"
+
+	"ethpart/internal/graph"
+)
+
+func mustCommit(t *testing.T, d *Directory, b Batch) uint64 {
+	t.Helper()
+	e, err := d.Commit(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEmptyDirectory(t *testing.T) {
+	d := New(Config{})
+	s := d.Current()
+	if s.Epoch() != 0 || s.Len() != 0 {
+		t.Fatalf("empty directory: epoch=%d len=%d", s.Epoch(), s.Len())
+	}
+	if _, ok := s.Lookup(7); ok {
+		t.Error("lookup on empty directory succeeded")
+	}
+	if got, ok := d.AtEpoch(0); !ok || got != s {
+		t.Error("epoch 0 not journaled")
+	}
+}
+
+func TestPlaceAndLookup(t *testing.T) {
+	d := New(Config{})
+	if _, err := d.Place(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Place(5000, 2); err != nil { // second page
+		t.Fatal(err)
+	}
+	s := d.Current()
+	if sh, ok := s.Lookup(3); !ok || sh != 1 {
+		t.Errorf("Lookup(3) = %d,%v", sh, ok)
+	}
+	if sh, ok := s.Lookup(5000); !ok || sh != 2 {
+		t.Errorf("Lookup(5000) = %d,%v", sh, ok)
+	}
+	if _, ok := s.Lookup(4); ok {
+		t.Error("unmapped vertex resolved")
+	}
+	if s.Len() != 2 || s.HotLen() != 2 || s.ColdLen() != 0 {
+		t.Errorf("len=%d hot=%d cold=%d", s.Len(), s.HotLen(), s.ColdLen())
+	}
+	// Overwrite is not a new entry.
+	if _, err := d.Place(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Current(); s.Len() != 2 {
+		t.Errorf("overwrite changed len to %d", s.Len())
+	}
+	if _, err := d.Place(3, -1); err == nil {
+		t.Error("negative shard accepted")
+	}
+}
+
+func TestWaveCommitIsOneEpochAndOldSnapshotsFrozen(t *testing.T) {
+	d := New(Config{})
+	var init []Move
+	for v := graph.VertexID(0); v < 100; v++ {
+		init = append(init, Move{V: v, To: 0})
+	}
+	mustCommit(t, d, Batch{Set: init})
+	before := d.Current()
+
+	// One wave moves half the vertices; exactly one epoch flip.
+	var wave []Move
+	for v := graph.VertexID(0); v < 100; v += 2 {
+		wave = append(wave, Move{V: v, To: 1})
+	}
+	e := mustCommit(t, d, Batch{Set: wave})
+	if e != before.Epoch()+1 {
+		t.Fatalf("wave committed as epoch %d, want %d", e, before.Epoch()+1)
+	}
+	after := d.Current()
+	for v := graph.VertexID(0); v < 100; v++ {
+		// The pre-wave snapshot must be completely untouched.
+		if sh, _ := before.Lookup(v); sh != 0 {
+			t.Fatalf("pinned snapshot saw wave: vertex %d on shard %d", v, sh)
+		}
+		want := 0
+		if v%2 == 0 {
+			want = 1
+		}
+		if sh, _ := after.Lookup(v); sh != want {
+			t.Fatalf("post-wave vertex %d on shard %d, want %d", v, sh, want)
+		}
+	}
+}
+
+func TestRetireSpillsToColdAndRehydrates(t *testing.T) {
+	d := New(Config{})
+	mustCommit(t, d, Batch{Set: []Move{{V: 10, To: 2}, {V: 11, To: 1}}})
+	mustCommit(t, d, Batch{Retire: []graph.VertexID{10, 999 /* unknown: no-op */}})
+
+	s := d.Current()
+	// Retirement relocates, never changes the answer.
+	if sh, ok := s.Lookup(10); !ok || sh != 2 {
+		t.Fatalf("retired vertex lost: %d,%v", sh, ok)
+	}
+	if s.HotLen() != 1 || s.ColdLen() != 1 || s.Len() != 2 {
+		t.Fatalf("hot=%d cold=%d len=%d after retire", s.HotLen(), s.ColdLen(), s.Len())
+	}
+	// Double retire is a no-op.
+	mustCommit(t, d, Batch{Retire: []graph.VertexID{10}})
+	if s := d.Current(); s.ColdLen() != 1 || s.Len() != 2 {
+		t.Fatalf("double retire changed counts: cold=%d len=%d", s.ColdLen(), s.Len())
+	}
+	// A wave touching a cold entry promotes it back to the hot tier.
+	mustCommit(t, d, Batch{Set: []Move{{V: 10, To: 0}}})
+	s = d.Current()
+	if sh, ok := s.Lookup(10); !ok || sh != 0 {
+		t.Fatalf("rehydrated vertex: %d,%v", sh, ok)
+	}
+	if s.HotLen() != 2 || s.ColdLen() != 0 || s.Len() != 2 {
+		t.Fatalf("hot=%d cold=%d len=%d after rehydrate", s.HotLen(), s.ColdLen(), s.Len())
+	}
+	if st := d.Stats(); st.Retired != 1 || st.Rehydrated != 1 {
+		t.Errorf("stats retired=%d rehydrated=%d, want 1/1", st.Retired, st.Rehydrated)
+	}
+}
+
+// TestRejectedBatchLeavesNoTrace pins the validate-before-mutate contract:
+// a batch rejected mid-way (negative shard after valid entries) must leave
+// the published view AND the writer's occupancy bookkeeping untouched —
+// otherwise pageLive drifts above real occupancy and the page-drop
+// compaction can never fire for that page again.
+func TestRejectedBatchLeavesNoTrace(t *testing.T) {
+	d := New(Config{})
+	mustCommit(t, d, Batch{Set: []Move{{V: 1, To: 0}}})
+	if _, err := d.Commit(Batch{Set: []Move{{V: 2, To: 1}, {V: 3, To: -1}}}); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+	s := d.Current()
+	if s.Epoch() != 1 || s.Len() != 1 {
+		t.Fatalf("rejected batch leaked: epoch=%d len=%d", s.Epoch(), s.Len())
+	}
+	if _, ok := s.Lookup(2); ok {
+		t.Error("rejected batch's valid prefix is visible")
+	}
+	// The occupancy bookkeeping must still be exact: retiring the one real
+	// entry empties page 0 and drops it.
+	mustCommit(t, d, Batch{Retire: []graph.VertexID{1}})
+	if st := d.Stats(); st.Pages != 0 || st.Hot != 0 || st.Cold != 1 {
+		t.Errorf("post-rejection compaction broken: %+v", st)
+	}
+}
+
+func TestRetireDropsEmptyPages(t *testing.T) {
+	d := New(Config{})
+	// Fill two pages.
+	var set []Move
+	for v := graph.VertexID(0); v < 2*pageSize; v++ {
+		set = append(set, Move{V: v, To: int(v) % 3})
+	}
+	mustCommit(t, d, Batch{Set: set})
+	if got := d.Stats().Pages; got != 2 {
+		t.Fatalf("pages = %d, want 2", got)
+	}
+	// Retire every entry of page 0: the page must be dropped.
+	var retire []graph.VertexID
+	for v := graph.VertexID(0); v < pageSize; v++ {
+		retire = append(retire, v)
+	}
+	mustCommit(t, d, Batch{Retire: retire})
+	st := d.Stats()
+	if st.Pages != 1 {
+		t.Errorf("pages = %d after emptying page 0, want 1 (compaction)", st.Pages)
+	}
+	if st.Hot != pageSize || st.Cold != pageSize {
+		t.Errorf("hot=%d cold=%d, want %d/%d", st.Hot, st.Cold, pageSize, pageSize)
+	}
+	// Every spilled entry still answers.
+	s := d.Current()
+	for v := graph.VertexID(0); v < 2*pageSize; v++ {
+		if sh, ok := s.Lookup(v); !ok || sh != int(v)%3 {
+			t.Fatalf("vertex %d: %d,%v", v, sh, ok)
+		}
+	}
+}
+
+func TestOutOfRangeIDsSpillToCold(t *testing.T) {
+	d := New(Config{})
+	huge := hotIDLimit + 12345
+	mustCommit(t, d, Batch{Set: []Move{{V: huge, To: 3}}})
+	s := d.Current()
+	if sh, ok := s.Lookup(huge); !ok || sh != 3 {
+		t.Fatalf("huge ID: %d,%v", sh, ok)
+	}
+	if s.HotLen() != 0 || s.ColdLen() != 1 {
+		t.Errorf("hot=%d cold=%d, want cold-resident", s.HotLen(), s.ColdLen())
+	}
+	if st := d.Stats(); st.Pages != 0 {
+		t.Errorf("huge ID allocated %d pages", st.Pages)
+	}
+}
+
+func TestJournalBounded(t *testing.T) {
+	d := New(Config{JournalDepth: 4})
+	for i := 0; i < 10; i++ {
+		mustCommit(t, d, Batch{Set: []Move{{V: graph.VertexID(i), To: 0}}})
+	}
+	// Epochs 7..10 are retained, 6 and older evicted.
+	for e := uint64(7); e <= 10; e++ {
+		s, ok := d.AtEpoch(e)
+		if !ok || s.Epoch() != e {
+			t.Errorf("epoch %d not retained", e)
+		}
+		// The pinned view must contain exactly the first e placements.
+		if s.Len() != int(e) {
+			t.Errorf("epoch %d view has %d entries", e, s.Len())
+		}
+	}
+	if _, ok := d.AtEpoch(6); ok {
+		t.Error("epoch 6 should have been evicted from a depth-4 journal")
+	}
+}
+
+func TestEachVisitsEveryEntry(t *testing.T) {
+	d := New(Config{})
+	mustCommit(t, d, Batch{Set: []Move{{V: 1, To: 0}, {V: 2, To: 1}, {V: hotIDLimit + 1, To: 2}}})
+	mustCommit(t, d, Batch{Retire: []graph.VertexID{2}})
+	got := map[graph.VertexID]int{}
+	d.Current().Each(func(v graph.VertexID, shard int) bool {
+		got[v] = shard
+		return true
+	})
+	want := map[graph.VertexID]int{1: 0, 2: 1, hotIDLimit + 1: 2}
+	if len(got) != len(want) {
+		t.Fatalf("Each visited %v, want %v", got, want)
+	}
+	for v, sh := range want {
+		if got[v] != sh {
+			t.Errorf("Each saw %d->%d, want %d", v, got[v], sh)
+		}
+	}
+}
+
+func TestPublisherBatchingSemantics(t *testing.T) {
+	d := New(Config{})
+	p := NewPublisher(d)
+
+	// Places buffer until Flush; a flush with nothing buffered burns no epoch.
+	p.OnPlace(1, 0)
+	p.OnPlace(2, 1)
+	if d.Epoch() != 0 {
+		t.Fatal("places committed before Flush")
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 1 || d.Current().Len() != 2 {
+		t.Fatalf("epoch=%d len=%d after flush", d.Epoch(), d.Current().Len())
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 1 {
+		t.Error("empty flush burned an epoch")
+	}
+
+	// A wave commits as one flip when OnRepartition fires, retires ride along.
+	p.OnRetire(2, 1)
+	p.OnMove(1, 0, 1)
+	p.OnMove(2, 1, 0)
+	if err := p.OnRepartition(2); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 2 {
+		t.Fatalf("wave+retire flipped to epoch %d, want 2", d.Epoch())
+	}
+	s := d.Current()
+	if sh, _ := s.Lookup(1); sh != 1 {
+		t.Errorf("vertex 1 on %d", sh)
+	}
+	// Vertex 2 was retired then moved in the same batch: Set wins (the
+	// move targets the current mapping wherever it lives).
+	if sh, ok := s.Lookup(2); !ok || sh != 0 {
+		t.Errorf("vertex 2: %d,%v", sh, ok)
+	}
+
+	// A move-count mismatch must refuse to commit.
+	p.OnMove(1, 1, 0)
+	if err := p.OnRepartition(2); err == nil {
+		t.Error("torn wave accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package directory
+
+import (
+	"fmt"
+
+	"ethpart/internal/graph"
+)
+
+// Publisher adapts a stream of placement events — the shape of the sim
+// package's OnPlace/OnMove/OnRepartition/OnRetire callbacks — into
+// directory commits with the serving layer's atomicity contract:
+//
+//   - first-sight placements buffer and commit together at the next Flush
+//     (the operational bridge flushes once per replayed record, so a
+//     record's placements become visible before the chain resolves homes);
+//   - a repartition's moves buffer from OnMove and commit as ONE epoch
+//     flip when OnRepartition fires — readers never observe a torn wave;
+//   - retirements buffer and spill to the cold tier with the next commit
+//     (spilling only relocates an entry between tiers, it never changes a
+//     lookup's answer, so its visibility timing is free).
+//
+// A Publisher is not safe for concurrent use; it lives on the simulator's
+// replay goroutine and only the committed snapshots cross threads.
+type Publisher struct {
+	dir *Directory
+
+	places  []Move
+	moves   []Move
+	retires []graph.VertexID
+}
+
+// NewPublisher returns a publisher committing into dir.
+func NewPublisher(dir *Directory) *Publisher {
+	return &Publisher{dir: dir}
+}
+
+// Directory returns the directory this publisher commits into.
+func (p *Publisher) Directory() *Directory { return p.dir }
+
+// OnPlace buffers a first-sight placement.
+func (p *Publisher) OnPlace(v graph.VertexID, shard int) {
+	p.places = append(p.places, Move{V: v, To: shard})
+}
+
+// OnMove buffers one move of an in-progress repartition wave.
+func (p *Publisher) OnMove(v graph.VertexID, _, to int) {
+	p.moves = append(p.moves, Move{V: v, To: to})
+}
+
+// OnRetire buffers a retirement spill.
+func (p *Publisher) OnRetire(v graph.VertexID, _ int) {
+	p.retires = append(p.retires, v)
+}
+
+// OnRepartition commits the buffered wave (plus any placements and
+// retirements buffered before it) as a single epoch flip.
+func (p *Publisher) OnRepartition(moves int) error {
+	if moves != len(p.moves) {
+		// The caller's move count and the buffered wave disagree — a
+		// mis-wired callback chain would otherwise commit torn waves
+		// silently.
+		return fmt.Errorf("directory: repartition reported %d moves but %d were observed",
+			moves, len(p.moves))
+	}
+	return p.Flush()
+}
+
+// Flush commits everything buffered as one epoch flip. A flush with
+// nothing buffered is a no-op (no epoch is burned).
+func (p *Publisher) Flush() error {
+	if len(p.places) == 0 && len(p.moves) == 0 && len(p.retires) == 0 {
+		return nil
+	}
+	b := Batch{Retire: p.retires}
+	b.Set = append(b.Set, p.places...)
+	b.Set = append(b.Set, p.moves...)
+	_, err := p.dir.Commit(b)
+	p.places = p.places[:0]
+	p.moves = p.moves[:0]
+	p.retires = p.retires[:0]
+	return err
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"ethpart/internal/sim"
+)
+
+// TestDecayOperationalComparison pins the figure's qualitative claims on
+// the drifting-era history: (a) the comparison covers the three
+// repartitioning methods with and without decay on identical traffic,
+// (b) decay bounds the live graph by the active set while full history
+// grows with the trace, and (c) for the full-graph repartitioner (METIS)
+// the repartition waves move far less state under decay — the dead eras
+// drop out of every firing.
+func TestDecayOperationalComparison(t *testing.T) {
+	rows, err := DecayOperational(DecayParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 3 methods x 2 modes", len(rows))
+	}
+	byKey := func(m sim.Method, decay bool) DecayCostRow {
+		for _, r := range rows {
+			if r.Method == m && r.Decay == decay {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v decay=%v", m, decay)
+		return DecayCostRow{}
+	}
+	for _, m := range []sim.Method{sim.MethodMetis, sim.MethodRMetis, sim.MethodTRMetis} {
+		full, decay := byKey(m, false), byKey(m, true)
+		// Same replay on both sides: both must actually repartition.
+		if full.Repartitions == 0 || decay.Repartitions == 0 {
+			t.Errorf("%v: no repartitions (full=%d decay=%d)", m, full.Repartitions, decay.Repartitions)
+		}
+		// The memory bound: full history accumulates every era, decay
+		// keeps roughly the horizon's worth of active set.
+		if full.LiveVertices <= 3*decay.LiveVertices {
+			t.Errorf("%v: live graph %d (full) vs %d (decay); decay should bound it",
+				m, full.LiveVertices, decay.LiveVertices)
+		}
+		if full.WaveMigrations == 0 {
+			t.Errorf("%v: waves moved no state; the comparison is vacuous", m)
+		}
+	}
+	// The headline: METIS (whole-graph repartitioner) must move much less
+	// state per run under decay — dead eras stop being re-migrated.
+	full, decay := byKey(sim.MethodMetis, false), byKey(sim.MethodMetis, true)
+	if decay.WaveMigrations >= full.WaveMigrations/2 {
+		t.Errorf("METIS wave migrations %d (decay) vs %d (full); decay should at least halve them",
+			decay.WaveMigrations, full.WaveMigrations)
+	}
+	if decay.WaveSlots >= full.WaveSlots {
+		t.Errorf("METIS wave slots %d (decay) vs %d (full)", decay.WaveSlots, full.WaveSlots)
+	}
+}

@@ -28,12 +28,31 @@ import (
 	"time"
 
 	"ethpart/internal/chain"
+	"ethpart/internal/directory"
 	"ethpart/internal/evm"
 	"ethpart/internal/graph"
 	"ethpart/internal/shardchain"
 	"ethpart/internal/sim"
 	"ethpart/internal/trace"
 	"ethpart/internal/types"
+)
+
+// Resolver selects how the live chain resolves account homes.
+type Resolver int
+
+const (
+	// ResolverDirectory (the default) feeds the simulator's placement
+	// callbacks through a directory.Publisher into a concurrent
+	// epoch-versioned placement directory and resolves every home through
+	// its published snapshots — the serving-layer path. Each chain block
+	// pins one directory epoch (shardchain.Config.AssignSnapshot), and
+	// results are byte-identical to the raw-assignment path by
+	// construction (pinned by the golden test in directory_golden_test.go).
+	ResolverDirectory Resolver = iota
+	// ResolverAssignment resolves straight from the simulator's live
+	// assignment — the pre-directory oracle path, kept for the
+	// byte-identity golden test.
+	ResolverAssignment
 )
 
 // Config parameterises a co-simulation run.
@@ -59,6 +78,9 @@ type Config struct {
 	// engine. The replayed results (windows, totals) are byte-identical to
 	// the serial engine's; only the timing fields differ.
 	Parallel bool
+	// Resolver selects the home-resolution path; the zero value is
+	// ResolverDirectory. Both resolvers produce byte-identical results.
+	Resolver Resolver
 }
 
 func (c Config) withDefaults() Config {
@@ -128,10 +150,20 @@ type Result struct {
 	Totals shardchain.Stats
 	// Replayed counts the records driven through the chain.
 	Replayed int64
+	// WaveMigrations/WaveMigratedSlots isolate the share of Totals'
+	// migration cost caused by repartition waves (applyMoves batches), as
+	// opposed to the traffic-driven sender/callee migrations the migration
+	// model performs inline. Always zero under ModelReceipts.
+	WaveMigrations    int64
+	WaveMigratedSlots int64
 	// Sim is the lockstep simulator's result (the dynamic-cut curves).
 	Sim *sim.Result
 	// Parallel records which chain engine ran.
 	Parallel bool
+	// DirectoryStats summarises the placement directory at end of run
+	// (nil under ResolverAssignment). It is reporting, not replayed state:
+	// both resolvers agree on every other field.
+	DirectoryStats *directory.Stats
 	// Blocks counts the blocks stepped (including the settle-drain steps)
 	// and StepNanos the wall-clock spent inside ShardChain.Step. They are
 	// measurement, not simulation state: two runs of the same trace agree
@@ -183,6 +215,13 @@ type runner struct {
 	curBlock     uint64
 	haveBlock    bool
 
+	// pub/dir are the serving directory fed by the simulator's callbacks
+	// (ResolverDirectory only); pubErr carries a publisher failure out of
+	// the void callbacks.
+	pub    *directory.Publisher
+	dir    *directory.Directory
+	pubErr error
+
 	seen   []bool // vertex ID → funded/materialised on the chain
 	nonces map[types.Address]uint64
 
@@ -212,14 +251,61 @@ func Run(gt *sim.GeneratedTrace, cfg Config) (*Result, error) {
 		}
 		r.pendingMoves = append(r.pendingMoves, move{v, to})
 	}
+	scCfg := shardchain.Config{
+		K: cfg.Sim.K, Model: cfg.Model, Chain: cfg.Chain, Parallel: cfg.Parallel,
+	}
+	if cfg.Resolver == ResolverDirectory {
+		// The simulator's placement stream publishes into the serving
+		// directory: placements flush per record, a repartition's move set
+		// commits as one epoch flip, retirements spill to the cold tier.
+		r.dir = directory.New(directory.Config{})
+		r.pub = directory.NewPublisher(r.dir)
+		userPlace := simCfg.OnPlace
+		simCfg.OnPlace = func(v graph.VertexID, shard int) {
+			if userPlace != nil {
+				userPlace(v, shard)
+			}
+			r.pub.OnPlace(v, shard)
+		}
+		chainMove := simCfg.OnMove
+		simCfg.OnMove = func(v graph.VertexID, from, to int) {
+			chainMove(v, from, to)
+			r.pub.OnMove(v, from, to)
+		}
+		userRepart := simCfg.OnRepartition
+		simCfg.OnRepartition = func(at time.Time, moves int) {
+			if userRepart != nil {
+				userRepart(at, moves)
+			}
+			if err := r.pub.OnRepartition(moves); err != nil && r.pubErr == nil {
+				r.pubErr = err
+			}
+		}
+		userRetire := simCfg.OnRetire
+		simCfg.OnRetire = func(v graph.VertexID, shard int) {
+			if userRetire != nil {
+				userRetire(v, shard)
+			}
+			r.pub.OnRetire(v, shard)
+		}
+		// Each chain block resolves against one pinned directory epoch.
+		scCfg.AssignSnapshot = func() func(types.Address) (int, bool) {
+			snap := r.dir.Current()
+			return func(a types.Address) (int, bool) {
+				id, ok := r.gt.Registry.Lookup(a)
+				if !ok {
+					return 0, false
+				}
+				return snap.Lookup(graph.VertexID(id))
+			}
+		}
+	}
 	s, err := sim.New(simCfg)
 	if err != nil {
 		return nil, fmt.Errorf("opsim: %w", err)
 	}
 	r.s = s
-	sc, err := shardchain.New(shardchain.Config{
-		K: cfg.Sim.K, Model: cfg.Model, Chain: cfg.Chain, Parallel: cfg.Parallel,
-	}, nil, r.assignOf)
+	sc, err := shardchain.New(scCfg, nil, r.assignOf)
 	if err != nil {
 		return nil, fmt.Errorf("opsim: %w", err)
 	}
@@ -228,12 +314,19 @@ func Run(gt *sim.GeneratedTrace, cfg Config) (*Result, error) {
 	return r.run()
 }
 
-// assignOf homes first-seen chain accounts by the simulator's live
-// assignment — the bridge's placement rule.
+// assignOf homes first-seen chain accounts — the bridge's placement rule.
+// Under ResolverDirectory it reads the directory's current snapshot (the
+// out-of-block path; in-block resolutions go through the pinned per-Step
+// view from AssignSnapshot); under ResolverAssignment it reads the
+// simulator's live assignment directly. The two always agree: every
+// placement event is flushed into the directory before the chain resolves.
 func (r *runner) assignOf(a types.Address) (int, bool) {
 	id, ok := r.gt.Registry.Lookup(a)
 	if !ok {
 		return 0, false
+	}
+	if r.dir != nil {
+		return r.dir.Current().Lookup(graph.VertexID(id))
 	}
 	return r.s.Assignment().ShardOf(graph.VertexID(id))
 }
@@ -255,6 +348,10 @@ func (r *runner) run() (*Result, error) {
 	}
 	r.res.Totals = r.sc.Stats()
 	r.res.Sim = r.s.Finish()
+	if r.dir != nil {
+		st := r.dir.Stats()
+		r.res.DirectoryStats = &st
+	}
 	// Join the simulator's dynamic-cut curve onto the operational windows.
 	cuts := make(map[int64]float64, len(r.res.Sim.Windows))
 	for _, w := range r.res.Sim.Windows {
@@ -289,6 +386,17 @@ func (r *runner) processRecord(rec trace.Record) error {
 	// vertices and may fire its repartitioning policy at a window boundary.
 	if err := r.s.Process(rec); err != nil {
 		return fmt.Errorf("opsim: %w", err)
+	}
+	if r.pub != nil {
+		// Publish the record's placements (and any buffered retirements)
+		// before the chain resolves homes; waves already committed inside
+		// Process via OnRepartition.
+		if err := r.pub.Flush(); err != nil && r.pubErr == nil {
+			r.pubErr = err
+		}
+		if r.pubErr != nil {
+			return fmt.Errorf("opsim: publishing to directory: %w", r.pubErr)
+		}
 	}
 	if len(r.pendingMoves) > 0 {
 		if err := r.applyMoves(); err != nil {
@@ -335,6 +443,7 @@ func (r *runner) processRecord(rec trace.Record) error {
 // repartitioning methods under receipts. The gap between the two columns
 // *is* the measurement, not an error; under ModelMigration they track.
 func (r *runner) applyMoves() error {
+	before := r.sc.Stats()
 	for _, mv := range r.pendingMoves {
 		addr, ok := r.gt.Registry.Address(uint64(mv.v))
 		if !ok {
@@ -351,6 +460,9 @@ func (r *runner) applyMoves() error {
 		}
 	}
 	r.pendingMoves = r.pendingMoves[:0]
+	d := statsDelta(r.sc.Stats(), before)
+	r.res.WaveMigrations += d.Migrations
+	r.res.WaveMigratedSlots += d.MigratedSlots
 	return nil
 }
 

@@ -88,6 +88,71 @@ func PlaceVertexCounts(g *graph.Graph, a *Assignment, v graph.VertexID, scratch 
 	return best
 }
 
+// PlaceVertexFennel is the decay-aware variant of the incremental
+// placement rule: instead of ranking shards by raw neighbour pull under a
+// hard overload cap, it scores them with the streaming Fennel objective —
+// neighbour weight gained minus the shared degree-based marginal size
+// penalty α·γ·|S|^(γ−1) (see Fennel in stream.go), with α computed from
+// the graph g's current edge mass and the per-shard counts' vertex total.
+//
+// Under windowed decay g is the live graph, so the neighbour weights are
+// the decayed weights and α tracks the active set: first-sight placement
+// then optimises the same recency-weighted objective the decayed
+// repartitioner does, instead of a different (cap-gated, raw-pull) one.
+// The hard streaming capacity C = n(1+slack)/k still excludes runaway
+// shards, with the same least-loaded fallback as LDG and Fennel.
+//
+// scratch and counts follow PlaceVertexCounts' contract: scratch has
+// length ≥ a.K() and is overwritten; a nil counts falls back to the
+// assignment's cumulative counts.
+func PlaceVertexFennel(g *graph.Graph, a *Assignment, v graph.VertexID, scratch []int64, counts []int) int {
+	k := a.K()
+	countOf := func(s int) int {
+		if counts != nil {
+			return counts[s]
+		}
+		return a.Count(s)
+	}
+	attract := scratch[:k]
+	for i := range attract {
+		attract[i] = 0
+	}
+	g.Neighbors(v, func(u graph.VertexID, w int64) bool {
+		if s, ok := a.ShardOf(u); ok {
+			attract[s] += w
+		}
+		return true
+	})
+	n := 0
+	for s := 0; s < k; s++ {
+		n += countOf(s)
+	}
+	if n == 0 {
+		return leastLoaded(k, countOf)
+	}
+	gamma := fennelDefaultGamma
+	alpha := fennelAlpha(k, float64(g.TotalEdgeWeight()), float64(n), gamma)
+	capacity := streamCapacity(n, k, 0)
+	best, bestScore := -1, 0.0
+	for s := 0; s < k; s++ {
+		size := float64(countOf(s))
+		if size >= capacity {
+			continue
+		}
+		score := float64(attract[s]) - fennelPenalty(alpha, gamma, size)
+		switch {
+		case best < 0, score > bestScore:
+			best, bestScore = s, score
+		case score == bestScore && countOf(s) < countOf(best):
+			best = s
+		}
+	}
+	if best < 0 {
+		return leastLoaded(k, countOf) // every shard at cap: degenerate, rebalance
+	}
+	return best
+}
+
 // loadCap returns the maximum shard size still eligible for placement. The
 // least-loaded shard is always eligible (its size is at most the average).
 func loadCap(k int, countOf func(int) int) int {

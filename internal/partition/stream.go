@@ -38,6 +38,27 @@ func streamCapacity(n, k int, slack float64) float64 {
 	return float64(n) * (1 + slack) / float64(k)
 }
 
+// fennelDefaultGamma is the size-penalty exponent the Fennel authors
+// recommend; shared by the streaming partitioner and the decay-aware
+// incremental placement rule (PlaceVertexFennel) so both optimise the same
+// objective.
+const fennelDefaultGamma = 1.5
+
+// fennelAlpha is Fennel's degree-based penalty scale α = √k·m/n^γ: the
+// marginal cost of adding a vertex to a shard of size s is α·γ·s^(γ−1),
+// calibrated so the total size penalty is comparable to the edges the
+// stream can save. m is the graph's edge mass and n its vertex count —
+// under windowed decay callers pass the *live* graph's numbers, so the
+// penalty tracks the active set rather than dead history.
+func fennelAlpha(k int, m, n, gamma float64) float64 {
+	return math.Sqrt(float64(k)) * m / math.Pow(n, gamma)
+}
+
+// fennelPenalty is the shared marginal size penalty α·γ·s^(γ−1).
+func fennelPenalty(alpha, gamma, size float64) float64 {
+	return alpha * gamma * math.Pow(size, gamma-1)
+}
+
 // LDG is the Linear Deterministic Greedy streaming partitioner.
 type LDG struct {
 	// Slack is the allowed overshoot of the capacity C = n(1+Slack)/k.
@@ -115,7 +136,7 @@ func (f Fennel) Partition(c *graph.CSR, k int) ([]int, error) {
 	}
 	gamma := f.Gamma
 	if gamma <= 1 {
-		gamma = 1.5
+		gamma = fennelDefaultGamma
 	}
 	bal := f.Balance
 	if bal <= 0 {
@@ -125,8 +146,7 @@ func (f Fennel) Partition(c *graph.CSR, k int) ([]int, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	m := float64(c.NumEdges)
-	alpha := bal * math.Sqrt(float64(k)) * m / math.Pow(float64(n), gamma)
+	alpha := bal * fennelAlpha(k, float64(c.NumEdges), float64(n), gamma)
 
 	parts := make([]int, n)
 	sizes := make([]float64, k)
@@ -152,7 +172,7 @@ func (f Fennel) Partition(c *graph.CSR, k int) ([]int, error) {
 			}
 			// Marginal Fennel objective: neighbours gained minus the
 			// marginal size penalty α·γ·|S|^(γ−1).
-			score := attract[s] - alpha*gamma*math.Pow(sizes[s], gamma-1)
+			score := attract[s] - fennelPenalty(alpha, gamma, sizes[s])
 			if score > bestScore {
 				best, bestScore = s, score
 			}

@@ -1,0 +1,74 @@
+package shardchain
+
+import (
+	"testing"
+
+	"ethpart/internal/chain"
+	"ethpart/internal/evm"
+	"ethpart/internal/types"
+)
+
+// TestAssignSnapshotPinsBlockResolution pins the Config.AssignSnapshot
+// contract: Step acquires exactly one frozen view per block and resolves
+// every in-block first-sight placement through it, while out-of-block
+// resolutions (accessors between blocks) use the per-call assign callback.
+// A directory-backed caller relies on this to guarantee a whole block
+// resolves against a single epoch even if a publisher commits mid-block.
+func TestAssignSnapshotPinsBlockResolution(t *testing.T) {
+	inBlockShard := 1
+	snapshotCalls := 0
+	sc, err := New(Config{
+		K: 2, Model: ModelReceipts, Chain: chain.DefaultConfig(),
+		AssignSnapshot: func() func(types.Address) (int, bool) {
+			snapshotCalls++
+			pinned := inBlockShard // frozen at block start
+			return func(types.Address) (int, bool) { return pinned, true }
+		},
+	}, map[types.Address]evm.Word{
+		alice: evm.WordFromUint64(1 << 40),
+	}, func(types.Address) (int, bool) { return 0, true /* per-call view */ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Genesis allocation happened before any Step: per-call view, shard 0.
+	if snapshotCalls != 0 {
+		t.Fatalf("AssignSnapshot called %d times before the first Step", snapshotCalls)
+	}
+	if s, ok := sc.Known(alice); !ok || s != 0 {
+		t.Fatalf("genesis home = %d,%v, want 0 via per-call assign", s, ok)
+	}
+
+	// First sight of bob happens inside the block: the pinned view wins,
+	// and mutating the source mid-"epoch" must not leak into this block.
+	receipts := sc.Step([]*chain.Transaction{transfer(0, alice, bob, 5)})
+	if !receipts[0].Success {
+		t.Fatalf("transfer failed: %v", receipts[0].Err)
+	}
+	if snapshotCalls != 1 {
+		t.Fatalf("AssignSnapshot called %d times for one Step, want 1", snapshotCalls)
+	}
+	if s, _ := sc.Known(bob); s != 1 {
+		t.Fatalf("in-block first sight homed bob on %d, want pinned shard 1", s)
+	}
+
+	// Between blocks the pinned view is gone: a fresh first sight through
+	// an accessor resolves via the per-call assign again.
+	if s := sc.HomeOf(carol); s != 0 {
+		t.Fatalf("between-blocks first sight homed carol on %d, want 0", s)
+	}
+
+	// The next Step re-acquires a fresh view reflecting the new source
+	// state (shard 0 now), exactly once.
+	inBlockShard = 0
+	dave := types.AddressFromSeq(9)
+	receipts = sc.Step([]*chain.Transaction{transfer(1, alice, dave, 5)})
+	if !receipts[0].Success {
+		t.Fatalf("second transfer failed: %v", receipts[0].Err)
+	}
+	if snapshotCalls != 2 {
+		t.Fatalf("AssignSnapshot called %d times after two Steps, want 2", snapshotCalls)
+	}
+	if s, _ := sc.Known(dave); s != 0 {
+		t.Fatalf("second block homed dave on %d, want 0", s)
+	}
+}

@@ -41,6 +41,11 @@ func TestDecayIdentitySweepMatchesDisabled(t *testing.T) {
 			}
 			identCfg := goldenConfig(m, k)
 			identCfg.DecayHalfLife = 24 * time.Hour // enables decay mode in New
+			// Decay mode also switches PenaltyAuto placement to the Fennel
+			// objective; pin the placement rule to the cap on both sides so
+			// this test isolates the sweep plumbing (the Fennel path has its
+			// own drifting-era golden in TestDecayPlacementGolden).
+			identCfg.Placement = PenaltyCap
 			ident, err := New(identCfg)
 			if err != nil {
 				t.Fatal(err)
@@ -250,6 +255,69 @@ func TestPropertyDecayCountersExact(t *testing.T) {
 		if got, want := s.staticBalance(), metrics.LoadBalance(liveLoads); got != want {
 			t.Errorf("seed %d: staticBalance = %v, live recount %v", seed, got, want)
 		}
+	}
+}
+
+// decayPlacementConfig is the drifting-era decay configuration of the
+// placement-objective golden.
+func decayPlacementConfig(p PlacementPenalty) Config {
+	return Config{
+		Method: MethodTRMetis, K: 4,
+		Window:            4 * time.Hour,
+		MinRepartitionGap: 24 * time.Hour,
+		TriggerWindows:    2,
+		CutThreshold:      0.2,
+		BalanceThreshold:  1.5,
+		DecayHalfLife:     8 * time.Hour,
+		Horizon:           24 * time.Hour,
+		Placement:         p,
+	}
+}
+
+// TestDecayPlacementGolden pins the decay-aware placement objective on a
+// drifting-era trace: under PenaltyAuto, decay mode feeds the decayed
+// neighbour weights into the shared Fennel-style degree-based size penalty
+// (PlaceVertexFennel), so first-sight placement and the decayed
+// repartitioner optimise the same recency-weighted objective. The values
+// were captured at the PR that introduced the objective; a drift here
+// means the placement rule, the decay sweep, or the shared penalty
+// changed.
+func TestDecayPlacementGolden(t *testing.T) {
+	recs := driftingEras(12, 8)
+	s, err := New(decayPlacementConfig(PenaltyAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := replayAll(t, s, recs)
+	if !s.fennelPlace {
+		t.Fatal("PenaltyAuto did not resolve to the Fennel objective in decay mode")
+	}
+	if len(res.Windows) != 96 || res.Repartitions != 15 ||
+		res.TotalMoves != 1694 || res.Vertices != 100 ||
+		!close9(res.OverallDynamicCut, 0.575319671) ||
+		!close9(res.OverallDynamicBalance, 1.098962420) ||
+		!close9(res.FinalStaticCut, 0.437655860) ||
+		!close9(res.FinalStaticBalance, 2.120000000) {
+		t.Errorf("decay placement drifted: windows=%d reparts=%d moves=%d verts=%d cut=%.9f bal=%.9f statCut=%.9f statBal=%.9f",
+			len(res.Windows), res.Repartitions, res.TotalMoves, res.Vertices,
+			res.OverallDynamicCut, res.OverallDynamicBalance,
+			res.FinalStaticCut, res.FinalStaticBalance)
+	}
+
+	// The objective must actually differ from the cap rule on this trace —
+	// otherwise the golden would pass vacuously with the dispatch broken.
+	capSim, err := New(decayPlacementConfig(PenaltyCap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capRes := replayAll(t, capSim, recs)
+	if capSim.fennelPlace {
+		t.Fatal("PenaltyCap resolved to the Fennel objective")
+	}
+	if capRes.TotalMoves == res.TotalMoves &&
+		capRes.OverallDynamicCut == res.OverallDynamicCut &&
+		capRes.OverallDynamicBalance == res.OverallDynamicBalance {
+		t.Error("cap and Fennel placements produced identical runs; the dispatch is dead")
 	}
 }
 

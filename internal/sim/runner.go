@@ -26,6 +26,15 @@ func (g *GeneratedTrace) StorageSlots(v graph.VertexID) int {
 	return g.storageSlots[v]
 }
 
+// NewGeneratedTrace wraps an externally built record stream (synthetic
+// drifting-era traces, converted real traces) in the form replays and the
+// operational bridge consume. reg must cover every From/To ID of records;
+// slots may be nil (no contract carries storage) or map vertex IDs to
+// their synthetic storage footprints.
+func NewGeneratedTrace(records []trace.Record, reg *trace.Registry, slots map[graph.VertexID]int) *GeneratedTrace {
+	return &GeneratedTrace{Records: records, Registry: reg, storageSlots: slots}
+}
+
 // Generate runs the workload generator to completion and materialises the
 // record stream. Generating once and replaying under many method
 // configurations keeps method comparisons on identical histories.

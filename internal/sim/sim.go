@@ -71,6 +71,25 @@ func Methods() []Method {
 	return []Method{MethodHash, MethodKL, MethodMetis, MethodRMetis, MethodTRMetis}
 }
 
+// PlacementPenalty selects the size control of the first-sight placement
+// rule (the paper's min-cut/tie-balance rule for vertices appearing
+// between repartitionings).
+type PlacementPenalty int
+
+const (
+	// PenaltyAuto (the default) keeps the hard overload cap in
+	// full-history mode — the paper's behaviour, pinned by the goldens —
+	// and switches to the shared Fennel-style degree-based penalty in
+	// decay mode, where the decayed neighbour weights feed the same
+	// recency-weighted objective the decayed repartitioner optimises.
+	PenaltyAuto PlacementPenalty = iota
+	// PenaltyCap always uses the hard overload cap (PlaceVertexCounts).
+	PenaltyCap
+	// PenaltyFennel always uses the Fennel-style degree-based penalty
+	// (PlaceVertexFennel), even in full-history mode.
+	PenaltyFennel
+)
+
 // Config parameterises a simulation run.
 type Config struct {
 	Method Method
@@ -119,6 +138,10 @@ type Config struct {
 	// every method, replacing the paper's min-cut/tie-balance rule. Used
 	// only by the placement ablation bench.
 	HashPlacement bool
+	// Placement selects the placement rule's size control; see
+	// PlacementPenalty. The zero value (PenaltyAuto) follows the decay
+	// mode: hard cap on full history, Fennel penalty under decay.
+	Placement PlacementPenalty
 
 	// OnPlace, when non-nil, fires the moment a first-seen vertex is
 	// assigned a shard (during the Process call that introduced it).
@@ -132,6 +155,12 @@ type Config struct {
 	// with the window-boundary time that triggered it and the number of
 	// vertices it moved. It fires after every OnMove of the batch.
 	OnRepartition func(at time.Time, moves int)
+	// OnRetire, when non-nil, fires for every vertex the decay sweep
+	// retires from the live graph, with the sticky shard it keeps.
+	// Observers maintaining a serving directory (see internal/directory)
+	// use it to spill the entry to a cold tier; it never fires outside
+	// decay mode.
+	OnRetire func(v graph.VertexID, shard int)
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -282,6 +311,9 @@ type Simulator struct {
 	decayMaxAge uint32
 	needWindow  bool
 	liveCounts  []int
+	// fennelPlace selects the Fennel-style placement penalty, resolved
+	// from Config.Placement (and the decay mode) at construction.
+	fennelPlace bool
 
 	result Result
 }
@@ -333,6 +365,12 @@ func New(cfg Config) (*Simulator, error) {
 		// every boundary).
 		s.decayMaxAge = uint32((int64(cfg.Horizon)+int64(cfg.Window)-1)/int64(cfg.Window) + 1)
 		s.liveCounts = make([]int, cfg.K)
+	}
+	switch cfg.Placement {
+	case PenaltyAuto:
+		s.fennelPlace = s.decayEnabled()
+	case PenaltyFennel:
+		s.fennelPlace = true
 	}
 	// The window graph only serves methods that repartition over the
 	// since-last-repartition slice; under decay TR-METIS switches to the
@@ -457,9 +495,14 @@ func (s *Simulator) placeIfNew(v graph.VertexID) (int, error) {
 		return shard, nil
 	}
 	var shard int
-	if s.cfg.Method == MethodHash || s.cfg.HashPlacement {
+	switch {
+	case s.cfg.Method == MethodHash || s.cfg.HashPlacement:
 		shard = s.hash.ShardOf(v, s.cfg.K)
-	} else {
+	case s.fennelPlace:
+		// Decay-aware placement: decayed neighbour weights against the
+		// shared degree-based size penalty, over the live population.
+		shard = partition.PlaceVertexFennel(s.full, s.assign, v, s.placeScratch, s.liveCounts)
+	default:
 		// liveCounts is nil outside decay mode, falling back to the
 		// assignment's cumulative counts.
 		shard = partition.PlaceVertexCounts(s.full, s.assign, v, s.placeScratch, s.liveCounts)
@@ -524,6 +567,9 @@ func (s *Simulator) decayStep() {
 		// live population.
 		if shard, ok := s.assign.ShardOf(v); ok {
 			s.liveCounts[shard]--
+			if s.cfg.OnRetire != nil {
+				s.cfg.OnRetire(v, shard)
+			}
 		}
 	})
 	s.recountCut()
