@@ -1,0 +1,223 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"ethpart/internal/experiments"
+	"ethpart/internal/fault"
+	"ethpart/internal/opsim"
+	"ethpart/internal/report"
+	"ethpart/internal/shardchain"
+	"ethpart/internal/sim"
+)
+
+// runChaos executes the chaos subcommand: the seeded fault-scenario
+// library over a drifting-era trace. Every scenario replays the same
+// trace through the operational co-simulation with a fault schedule armed
+// — shard crash-stops recovered from the durable log, receipt storms of
+// drops/delays/duplicates, stalled epoch flips with transient commit
+// failures — and cross-checks the outcome against a fault-free oracle
+// run: totals, per-shard state roots, the home map and every transaction
+// receipt must converge byte-identical, and no torn directory commit may
+// ever be observed. It exits non-zero on any invariant violation.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("ethpart chaos", flag.ContinueOnError)
+	scenarioFlag := fs.String("scenario", "all", "scenario: crash-wave|receipt-loss|dup-storm|flip-stall|mixed|all")
+	seed := fs.Int64("seed", 1, "trace and fault-schedule seed")
+	k := fs.Int("k", 4, "number of shards")
+	methodFlag := fs.String("method", "tr-metis", "repartitioning method (waves feed the flip-stall scenarios)")
+	eras := fs.Int("eras", 6, "drifting eras in the trace")
+	windows := fs.Int("windows-per-era", 6, "4-hour windows per era")
+	parallel := fs.Bool("parallel", false, "run the chain on the parallel per-shard engine")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	method, err := sim.ParseMethod(*methodFlag)
+	if err != nil {
+		return err
+	}
+
+	gt := experiments.DecayTrace(experiments.DecayParams{
+		Seed: *seed, K: *k, Eras: *eras, WindowsPerEra: *windows,
+	})
+	// An upper bound on chain height: the trace's blocks plus the settle
+	// drain; crash schedules may reach into the drain.
+	traceBlocks := uint64(*eras**windows*2) + 48
+
+	baseCfg := func() opsim.Config {
+		return opsim.Config{
+			Sim: sim.Config{
+				Method: method, K: *k,
+				Window:            4 * time.Hour,
+				RepartitionEvery:  2 * 24 * time.Hour,
+				MinRepartitionGap: 24 * time.Hour,
+				TriggerWindows:    2,
+				CutThreshold:      0.2,
+				BalanceThreshold:  1.5,
+				DecayHalfLife:     12 * time.Hour,
+			},
+			Model:    shardchain.ModelReceipts,
+			Parallel: *parallel,
+			Capture:  true,
+			// Budget for injected backoff chains: a dropped receipt can take
+			// MaxAttempts tries with capped exponential backoff before its
+			// forced delivery.
+			MaxSettleSteps: 600,
+		}
+	}
+
+	scenarios, err := chaosScenarios(*scenarioFlag, uint64(*seed), traceBlocks, *k)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("oracle: replaying %s records fault-free (k=%d, %s, receipts model)\n",
+		report.FormatCount(int64(len(gt.Records))), *k, method)
+	oracle, err := opsim.Run(gt, baseCfg())
+	if err != nil {
+		return fmt.Errorf("chaos: oracle run: %w", err)
+	}
+
+	headers := []string{
+		"scenario", "crashes", "replayed", "recover(us)", "dropped", "delayed",
+		"dups", "suppressed", "stalls", "stale-blk", "max-lag", "torn", "violations",
+	}
+	var rows [][]string
+	totalViolations := 0
+	for _, sc := range scenarios {
+		inj, err := fault.New(sc.sched)
+		if err != nil {
+			return fmt.Errorf("chaos: scenario %s: %w", sc.name, err)
+		}
+		cfg := baseCfg()
+		cfg.Fault = inj
+		res, err := opsim.Run(gt, cfg)
+		if err != nil {
+			return fmt.Errorf("chaos: scenario %s: %w", sc.name, err)
+		}
+		violations := compareToOracle(oracle, res)
+		totalViolations += len(violations)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "chaos: %s: INVARIANT VIOLATION: %s\n", sc.name, v)
+		}
+		m := res.Fault
+		recoverUS := "0"
+		if m.Crashes > 0 {
+			recoverUS = fmt.Sprintf("%.1f", float64(m.RecoveryNanos)/float64(m.Crashes)/1e3)
+		}
+		rows = append(rows, []string{
+			sc.name,
+			strconv.FormatUint(m.Crashes, 10),
+			strconv.FormatUint(m.ItemsReplayed, 10),
+			recoverUS,
+			strconv.FormatUint(m.Dropped, 10),
+			strconv.FormatUint(m.Delayed, 10),
+			strconv.FormatUint(m.Duplicated, 10),
+			strconv.FormatUint(m.DupsSuppressed, 10),
+			strconv.FormatUint(m.WaveStalls, 10),
+			strconv.FormatUint(m.StaleBlocks, 10),
+			strconv.FormatUint(m.MaxEpochLag, 10),
+			strconv.FormatUint(m.TornCommits, 10),
+			strconv.Itoa(len(violations)),
+		})
+	}
+
+	if *csvOut {
+		if err := report.CSV(os.Stdout, headers, rows); err != nil {
+			return err
+		}
+	} else {
+		if err := report.Table(os.Stdout, headers, rows); err != nil {
+			return err
+		}
+	}
+	if totalViolations > 0 {
+		return fmt.Errorf("chaos: %d invariant violation(s)", totalViolations)
+	}
+	fmt.Println("\nall scenarios converged byte-identical to the fault-free oracle; zero invariant violations")
+	return nil
+}
+
+// chaosScenario is one named fault schedule.
+type chaosScenario struct {
+	name  string
+	sched fault.Schedule
+}
+
+// chaosScenarios builds the scenario library (or the one selected).
+func chaosScenarios(sel string, seed, blocks uint64, k int) ([]chaosScenario, error) {
+	all := []chaosScenario{
+		{"crash-wave", fault.Schedule{
+			Seed:    seed,
+			Crashes: fault.PeriodicCrashes(5, blocks, k),
+		}},
+		{"receipt-loss", fault.Schedule{
+			Seed:     seed,
+			DropProb: 0.25, DelayProb: 0.2,
+		}},
+		{"dup-storm", fault.Schedule{
+			Seed:    seed,
+			DupProb: 0.5, DelayProb: 0.1, ShuffleDeliveries: true,
+		}},
+		{"flip-stall", fault.Schedule{
+			Seed:             seed,
+			WaveStallFlushes: 40, CommitFailEvery: 3,
+		}},
+		{"mixed", fault.Schedule{
+			Seed:     seed,
+			Crashes:  fault.PeriodicCrashes(7, blocks, k),
+			DropProb: 0.15, DelayProb: 0.1, DupProb: 0.2,
+			ShuffleDeliveries: true,
+			WaveStallFlushes:  25, CommitFailEvery: 5,
+		}},
+	}
+	if sel == "all" || sel == "" {
+		return all, nil
+	}
+	for _, sc := range all {
+		if sc.name == sel {
+			return []chaosScenario{sc}, nil
+		}
+	}
+	return nil, fmt.Errorf("chaos: unknown scenario %q (crash-wave|receipt-loss|dup-storm|flip-stall|mixed|all)", sel)
+}
+
+// compareToOracle checks the convergence invariants of a faulty run
+// against the fault-free oracle. Per-window stats are deliberately not
+// compared: an injected delay legitimately shifts a settlement into a
+// later window; the run-level totals (with the injected share of latency
+// subtracted at settlement) must still match exactly.
+func compareToOracle(oracle, res *opsim.Result) []string {
+	var v []string
+	if oracle.Replayed != res.Replayed {
+		v = append(v, fmt.Sprintf("replayed %d records, oracle %d", res.Replayed, oracle.Replayed))
+	}
+	if oracle.Totals != res.Totals {
+		v = append(v, fmt.Sprintf("stats diverge: %+v, oracle %+v", res.Totals, oracle.Totals))
+	}
+	if len(oracle.StateRoots) != len(res.StateRoots) {
+		v = append(v, "state root count diverges")
+	} else {
+		for s := range oracle.StateRoots {
+			if oracle.StateRoots[s] != res.StateRoots[s] {
+				v = append(v, fmt.Sprintf("shard %d state root diverges: %s, oracle %s",
+					s, res.StateRoots[s], oracle.StateRoots[s]))
+			}
+		}
+	}
+	if oracle.HomesHash != res.HomesHash {
+		v = append(v, "home map diverges")
+	}
+	if oracle.ReceiptsHash != res.ReceiptsHash {
+		v = append(v, "transaction receipts diverge")
+	}
+	if res.Fault != nil && res.Fault.TornCommits > 0 {
+		v = append(v, fmt.Sprintf("%d torn directory commits observed", res.Fault.TornCommits))
+	}
+	return v
+}

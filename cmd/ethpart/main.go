@@ -10,6 +10,8 @@
 //	        [-decay-half-life 168h] [-horizon 672h]
 //	ethpart bench-dir [-readers 1,2,4] [-duration 1s] [-method tr-metis]
 //	        [-eras 12] [-decay-half-life 12h] [-csv]
+//	ethpart chaos [-scenario all] [-seed 1] [-k 4] [-eras 6]
+//	        [-windows-per-era 6] [-csv]
 //
 // With -decay-half-life the replay runs in windowed-decay mode: the
 // cumulative graph ages at every window boundary and entries idle past the
@@ -60,6 +62,8 @@ func main() {
 		err = runOps(args[1:])
 	case len(args) > 0 && args[0] == "bench-dir":
 		err = runBenchDir(args[1:])
+	case len(args) > 0 && args[0] == "chaos":
+		err = runChaos(args[1:])
 	default:
 		err = run(args)
 	}
@@ -140,6 +144,13 @@ func run(args []string) error {
 		if errors.Is(err, io.EOF) {
 			break
 		}
+		// A malformed record is confined to its line: report it and keep
+		// the tail of the dataset instead of aborting the replay.
+		var re *trace.RecordError
+		if errors.As(err, &re) {
+			fmt.Fprintln(os.Stderr, "ethpart: skipping", re)
+			continue
+		}
 		if err != nil {
 			return err
 		}
@@ -150,8 +161,11 @@ func run(args []string) error {
 	}
 	res := s.Finish()
 
-	fmt.Printf("replayed %s interactions in %v\n\n",
-		report.FormatCount(n), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("replayed %s interactions in %v", report.FormatCount(n), time.Since(start).Round(time.Millisecond))
+	if skipped := reader.Skipped(); skipped > 0 {
+		fmt.Printf(" (%s malformed records skipped)", report.FormatCount(skipped))
+	}
+	fmt.Printf("\n\n")
 	rows := [][]string{
 		{"method", res.Method.String()},
 		{"shards", strconv.Itoa(res.K)},

@@ -177,6 +177,25 @@ func TestBenchDir(t *testing.T) {
 	}
 }
 
+// TestChaosSmoke runs the full seeded scenario library at a tiny scale —
+// every scenario must converge byte-identical to the fault-free oracle
+// (runChaos returns an error on any invariant violation) — plus the CSV
+// output path and flag validation.
+func TestChaosSmoke(t *testing.T) {
+	if err := runChaos([]string{"-eras", "3", "-windows-per-era", "3", "-seed", "1", "-k", "2"}); err != nil {
+		t.Errorf("chaos: %v", err)
+	}
+	if err := runChaos([]string{"-eras", "3", "-windows-per-era", "3", "-scenario", "crash-wave", "-csv"}); err != nil {
+		t.Errorf("chaos -csv: %v", err)
+	}
+	if err := runChaos([]string{"-scenario", "bogus"}); err == nil {
+		t.Error("chaos unknown scenario accepted")
+	}
+	if err := runChaos([]string{"-method", "bogus"}); err == nil {
+		t.Error("chaos bad method accepted")
+	}
+}
+
 func TestReplayEachMethod(t *testing.T) {
 	path := writeTestTrace(t)
 	for _, method := range []string{"hash", "kl", "metis", "r-metis", "tr-metis"} {

@@ -30,6 +30,7 @@
 package directory
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -226,6 +227,66 @@ func (d *Directory) AtEpoch(e uint64) (*Snapshot, bool) {
 		}
 	}
 	return nil, false
+}
+
+// ErrEpochEvicted reports that a requested epoch has aged out of the
+// bounded journal (or was never published). Errors returned by PinEpoch
+// match it with errors.Is.
+var ErrEpochEvicted = errors.New("directory: epoch evicted from journal")
+
+// PinEpoch returns the journaled snapshot for epoch e, or an error wrapping
+// ErrEpochEvicted that names the epoch and the range the journal still
+// retains — the typed form of the AtEpoch miss.
+func (d *Directory) PinEpoch(e uint64) (*Snapshot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	oldest, newest := uint64(0), uint64(0)
+	first := true
+	for _, s := range d.journal {
+		if s == nil {
+			continue
+		}
+		if s.epoch == e {
+			return s, nil
+		}
+		if first || s.epoch < oldest {
+			oldest = s.epoch
+		}
+		if s.epoch > newest {
+			newest = s.epoch
+		}
+		first = false
+	}
+	return nil, fmt.Errorf("%w: epoch %d (journal retains %d..%d)",
+		ErrEpochEvicted, e, oldest, newest)
+}
+
+// Resolve returns the best available view for a reader that pinned epoch e:
+// the exact journaled snapshot when the journal retains it, otherwise the
+// newest published view with stale == true. It replaces the hand-rolled
+// "AtEpoch, else Current" dance: an evicted (or not-yet-published) epoch
+// degrades to a bounded-staleness read instead of an error, and the flag
+// tells the caller to re-pin against the view it actually got.
+func (d *Directory) Resolve(e uint64) (s *Snapshot, stale bool) {
+	if s, ok := d.AtEpoch(e); ok {
+		return s, false
+	}
+	return d.Current(), true
+}
+
+// Committer is the surface a Publisher commits through: the Directory
+// itself, or a wrapper that injects faults or replication between the
+// publisher and the directory. wave marks a repartition's epoch flip (the
+// whole move set of one repartition as a single batch), so wrappers can
+// treat flips differently from per-record placement flushes; the Directory
+// ignores the distinction.
+type Committer interface {
+	CommitBatch(b Batch, wave bool) (uint64, error)
+}
+
+// CommitBatch implements Committer; the wave marker is reporting only.
+func (d *Directory) CommitBatch(b Batch, _ bool) (uint64, error) {
+	return d.Commit(b)
 }
 
 // Place maps a single vertex, as its own epoch flip. It is Commit of a

@@ -22,20 +22,18 @@ import (
 // A Publisher is not safe for concurrent use; it lives on the simulator's
 // replay goroutine and only the committed snapshots cross threads.
 type Publisher struct {
-	dir *Directory
+	c Committer
 
 	places  []Move
 	moves   []Move
 	retires []graph.VertexID
 }
 
-// NewPublisher returns a publisher committing into dir.
-func NewPublisher(dir *Directory) *Publisher {
-	return &Publisher{dir: dir}
+// NewPublisher returns a publisher committing through c — a Directory, or
+// a wrapper (fault injection, replication) between publisher and directory.
+func NewPublisher(c Committer) *Publisher {
+	return &Publisher{c: c}
 }
-
-// Directory returns the directory this publisher commits into.
-func (p *Publisher) Directory() *Directory { return p.dir }
 
 // OnPlace buffers a first-sight placement.
 func (p *Publisher) OnPlace(v graph.VertexID, shard int) {
@@ -53,7 +51,8 @@ func (p *Publisher) OnRetire(v graph.VertexID, _ int) {
 }
 
 // OnRepartition commits the buffered wave (plus any placements and
-// retirements buffered before it) as a single epoch flip.
+// retirements buffered before it) as a single epoch flip, marked as a wave
+// commit for the committer.
 func (p *Publisher) OnRepartition(moves int) error {
 	if moves != len(p.moves) {
 		// The caller's move count and the buffered wave disagree — a
@@ -62,19 +61,23 @@ func (p *Publisher) OnRepartition(moves int) error {
 		return fmt.Errorf("directory: repartition reported %d moves but %d were observed",
 			moves, len(p.moves))
 	}
-	return p.Flush()
+	return p.flush(true)
 }
 
 // Flush commits everything buffered as one epoch flip. A flush with
 // nothing buffered is a no-op (no epoch is burned).
 func (p *Publisher) Flush() error {
+	return p.flush(false)
+}
+
+func (p *Publisher) flush(wave bool) error {
 	if len(p.places) == 0 && len(p.moves) == 0 && len(p.retires) == 0 {
 		return nil
 	}
 	b := Batch{Retire: p.retires}
 	b.Set = append(b.Set, p.places...)
 	b.Set = append(b.Set, p.moves...)
-	_, err := p.dir.Commit(b)
+	_, err := p.c.CommitBatch(b, wave)
 	p.places = p.places[:0]
 	p.moves = p.moves[:0]
 	p.retires = p.retires[:0]

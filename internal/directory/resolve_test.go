@@ -1,0 +1,89 @@
+package directory
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ethpart/internal/graph"
+)
+
+// TestPinEpochEvictionBoundary pins the typed miss: epochs inside the
+// bounded journal pin exactly, epochs that aged out (and epochs never
+// published) fail with ErrEpochEvicted naming the retained range.
+func TestPinEpochEvictionBoundary(t *testing.T) {
+	d := New(Config{JournalDepth: 4})
+	for e := 1; e <= 8; e++ {
+		mustCommit(t, d, Batch{Set: []Move{{V: graph.VertexID(e), To: e % 3}}})
+	}
+	// Journal retains epochs 5..8 (depth 4, newest 8).
+	for e := uint64(5); e <= 8; e++ {
+		s, err := d.PinEpoch(e)
+		if err != nil {
+			t.Fatalf("PinEpoch(%d): %v", e, err)
+		}
+		if s.Epoch() != e {
+			t.Fatalf("PinEpoch(%d) returned epoch %d", e, s.Epoch())
+		}
+	}
+	for _, e := range []uint64{0, 1, 4, 9} {
+		_, err := d.PinEpoch(e)
+		if !errors.Is(err, ErrEpochEvicted) {
+			t.Fatalf("PinEpoch(%d) = %v, want ErrEpochEvicted", e, err)
+		}
+		if !strings.Contains(err.Error(), "5..8") {
+			t.Errorf("PinEpoch(%d) error %q does not name the retained range", e, err)
+		}
+	}
+	// The boundary itself: the oldest retained epoch pins, its predecessor
+	// does not.
+	if _, err := d.PinEpoch(5); err != nil {
+		t.Errorf("oldest retained epoch failed to pin: %v", err)
+	}
+	if _, err := d.PinEpoch(4); err == nil {
+		t.Error("evicted boundary epoch pinned")
+	}
+}
+
+// TestResolveFallsBackWithStaleness pins the degradation helper: a
+// journaled epoch resolves exactly and fresh; an evicted or never-published
+// epoch degrades to the newest view, flagged stale.
+func TestResolveFallsBackWithStaleness(t *testing.T) {
+	d := New(Config{JournalDepth: 2})
+	for e := 1; e <= 5; e++ {
+		mustCommit(t, d, Batch{Set: []Move{{V: graph.VertexID(e), To: 1}}})
+	}
+	cur := d.Current()
+
+	if s, stale := d.Resolve(4); stale || s.Epoch() != 4 {
+		t.Errorf("Resolve(4) = epoch %d stale=%v, want exact fresh snapshot", s.Epoch(), stale)
+	}
+	if s, stale := d.Resolve(1); !stale || s != cur {
+		t.Errorf("Resolve(1) = epoch %d stale=%v, want current view flagged stale", s.Epoch(), stale)
+	}
+	if s, stale := d.Resolve(99); !stale || s != cur {
+		t.Errorf("Resolve(99) = epoch %d stale=%v, want current view flagged stale", s.Epoch(), stale)
+	}
+}
+
+// TestDirectoryImplementsCommitter pins the committer seam the fault
+// plane and future replication wrap: the plain directory commits waves
+// and non-waves identically.
+func TestDirectoryImplementsCommitter(t *testing.T) {
+	d := New(Config{})
+	var c Committer = d
+	e1, err := c.CommitBatch(Batch{Set: []Move{{V: 1, To: 0}}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.CommitBatch(Batch{Set: []Move{{V: 1, To: 1}}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != e1+1 {
+		t.Errorf("wave commit burned %d epochs, want 1", e2-e1)
+	}
+	if sh, ok := d.Current().Lookup(1); !ok || sh != 1 {
+		t.Errorf("Lookup(1) = %d,%v after wave commit", sh, ok)
+	}
+}

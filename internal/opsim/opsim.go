@@ -24,12 +24,14 @@
 package opsim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
 	"ethpart/internal/chain"
 	"ethpart/internal/directory"
 	"ethpart/internal/evm"
+	"ethpart/internal/fault"
 	"ethpart/internal/graph"
 	"ethpart/internal/shardchain"
 	"ethpart/internal/sim"
@@ -81,6 +83,19 @@ type Config struct {
 	// Resolver selects the home-resolution path; the zero value is
 	// ResolverDirectory. Both resolvers produce byte-identical results.
 	Resolver Resolver
+	// Fault, when non-nil, arms the deterministic fault-injection plane:
+	// the chain takes the schedule's crash/message faults, and (under
+	// ResolverDirectory) the publisher commits through a
+	// fault.FlakyDirectory injecting stalled waves and transient commit
+	// failures. Chain blocks that pin an epoch while a wave is stalled are
+	// counted as stale in the fault metrics.
+	Fault *fault.Injector
+	// Capture computes the convergence artifacts (StateRoots, HomesHash,
+	// ReceiptsHash) at end of run — the byte-identity evidence chaos
+	// scenarios compare against the fault-free oracle. Off by default:
+	// capturing hashes every shard's state, which golden tests that
+	// DeepEqual whole Results neither need nor want to pay for.
+	Capture bool
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +185,16 @@ type Result struct {
 	// on every window and total but not on StepNanos.
 	Blocks    int64
 	StepNanos int64
+	// Convergence artifacts, computed only with Config.Capture: per-shard
+	// final state roots, a hash over every known account's home, and a
+	// running hash over every transaction receipt in replay order. A
+	// faulty run converges iff all three (plus Totals and Windows) equal
+	// the fault-free oracle's.
+	StateRoots   []types.Hash
+	HomesHash    types.Hash
+	ReceiptsHash types.Hash
+	// Fault is the injector's metrics snapshot (nil without Config.Fault).
+	Fault *fault.MetricsSnapshot
 }
 
 // MsPerBlock returns the mean wall-clock per block step in milliseconds.
@@ -217,10 +242,18 @@ type runner struct {
 
 	// pub/dir are the serving directory fed by the simulator's callbacks
 	// (ResolverDirectory only); pubErr carries a publisher failure out of
-	// the void callbacks.
+	// the void callbacks. flaky is the fault-injecting committer wedged
+	// between them when Config.Fault is armed.
 	pub    *directory.Publisher
 	dir    *directory.Directory
+	flaky  *fault.FlakyDirectory
 	pubErr error
+
+	// receiptsHash accumulates the replay-order receipt hash (Capture).
+	receiptsHash types.Hash
+	// lagging tracks whether the previous block pinned a stale epoch, so
+	// re-pins (lag returning to zero) can be counted.
+	lagging bool
 
 	seen   []bool // vertex ID → funded/materialised on the chain
 	nonces map[types.Address]uint64
@@ -253,13 +286,21 @@ func Run(gt *sim.GeneratedTrace, cfg Config) (*Result, error) {
 	}
 	scCfg := shardchain.Config{
 		K: cfg.Sim.K, Model: cfg.Model, Chain: cfg.Chain, Parallel: cfg.Parallel,
+		Fault: cfg.Fault,
 	}
 	if cfg.Resolver == ResolverDirectory {
 		// The simulator's placement stream publishes into the serving
 		// directory: placements flush per record, a repartition's move set
 		// commits as one epoch flip, retirements spill to the cold tier.
+		// With a fault plane armed the publisher commits through the flaky
+		// committer, which injects stalled waves and transient failures.
 		r.dir = directory.New(directory.Config{})
-		r.pub = directory.NewPublisher(r.dir)
+		var committer directory.Committer = r.dir
+		if cfg.Fault != nil {
+			r.flaky = fault.NewFlakyDirectory(r.dir, cfg.Fault)
+			committer = r.flaky
+		}
+		r.pub = directory.NewPublisher(committer)
 		userPlace := simCfg.OnPlace
 		simCfg.OnPlace = func(v graph.VertexID, shard int) {
 			if userPlace != nil {
@@ -289,7 +330,21 @@ func Run(gt *sim.GeneratedTrace, cfg Config) (*Result, error) {
 			r.pub.OnRetire(v, shard)
 		}
 		// Each chain block resolves against one pinned directory epoch.
+		// With a flaky committer the pin also observes degradation: a block
+		// that starts while wave flips are stalled is serving bounded-stale
+		// placement (counted, with the lag high-water mark), and the first
+		// block after the flips land is the re-pin.
 		scCfg.AssignSnapshot = func() func(types.Address) (int, bool) {
+			if r.flaky != nil {
+				if pending := r.flaky.PendingWaves(); pending > 0 {
+					cfg.Fault.Metrics.StaleBlocks.Add(1)
+					cfg.Fault.Metrics.MaxLag(uint64(pending))
+					r.lagging = true
+				} else if r.lagging {
+					cfg.Fault.Metrics.RePins.Add(1)
+					r.lagging = false
+				}
+			}
 			snap := r.dir.Current()
 			return func(a types.Address) (int, bool) {
 				id, ok := r.gt.Registry.Lookup(a)
@@ -339,9 +394,17 @@ func (r *runner) run() (*Result, error) {
 	}
 	r.flushBlock()
 	// Drain in-flight receipts with empty blocks; their settlements land in
-	// the final window.
+	// the final window. The fault channel's retry bound keeps this finite,
+	// but a fault-armed caller should budget MaxSettleSteps for the
+	// injected backoff chains.
 	for i := 0; i < r.cfg.MaxSettleSteps && r.sc.PendingReceipts() > 0; i++ {
 		r.step(nil)
+	}
+	if r.flaky != nil {
+		// Land any wave flips still stalled at end of run; every stall ends.
+		if err := r.flaky.DrainStalls(); err != nil {
+			return nil, fmt.Errorf("opsim: %w", err)
+		}
 	}
 	if r.started {
 		r.closeWindow()
@@ -351,6 +414,13 @@ func (r *runner) run() (*Result, error) {
 	if r.dir != nil {
 		st := r.dir.Stats()
 		r.res.DirectoryStats = &st
+	}
+	if r.cfg.Capture {
+		r.captureArtifacts()
+	}
+	if r.cfg.Fault != nil {
+		snap := r.cfg.Fault.Metrics.Snapshot()
+		r.res.Fault = &snap
 	}
 	// Join the simulator's dynamic-cut curve onto the operational windows.
 	cuts := make(map[int64]float64, len(r.res.Sim.Windows))
@@ -513,7 +583,50 @@ func (r *runner) step(txs []*chain.Transaction) []*chain.Receipt {
 	receipts := r.sc.Step(txs)
 	r.res.StepNanos += time.Since(start).Nanoseconds()
 	r.res.Blocks++
+	if r.cfg.Capture {
+		for _, rc := range receipts {
+			errStr := ""
+			if rc.Err != nil {
+				errStr = rc.Err.Error()
+			}
+			ok := byte(0)
+			if rc.Success {
+				ok = 1
+			}
+			var gas [8]byte
+			binary.BigEndian.PutUint64(gas[:], rc.GasUsed)
+			r.receiptsHash = types.HashConcat(
+				r.receiptsHash[:], rc.TxHash[:], []byte{ok}, gas[:], []byte(errStr))
+		}
+	}
 	return receipts
+}
+
+// captureArtifacts computes the end-of-run convergence evidence: per-shard
+// state roots and a hash over every known account's home, in registry-ID
+// order so the digest is canonical. ReceiptsHash accumulated in step.
+func (r *runner) captureArtifacts() {
+	r.res.StateRoots = make([]types.Hash, r.cfg.Sim.K)
+	for s := 0; s < r.cfg.Sim.K; s++ {
+		r.res.StateRoots[s] = r.sc.StateOf(s).Commit()
+	}
+	homes := types.Hash{}
+	for id := uint64(0); id < uint64(r.gt.Registry.Len()); id++ {
+		addr, ok := r.gt.Registry.Address(id)
+		if !ok {
+			continue
+		}
+		shard, known := r.sc.Known(addr)
+		if !known {
+			shard = -1
+		}
+		var buf [16]byte
+		binary.BigEndian.PutUint64(buf[:8], id)
+		binary.BigEndian.PutUint64(buf[8:], uint64(int64(shard)))
+		homes = types.HashConcat(homes[:], buf[:])
+	}
+	r.res.HomesHash = homes
+	r.res.ReceiptsHash = r.receiptsHash
 }
 
 // closeWindow snapshots the chain's counters into a per-window delta.

@@ -1,0 +1,221 @@
+package shardchain
+
+import (
+	"maps"
+	"math/rand"
+	"slices"
+	"time"
+
+	"ethpart/internal/chain"
+	"ethpart/internal/types"
+)
+
+// This file is the chain side of the fault-injection plane (Config.Fault):
+// the per-shard durable log and crash recovery, and the fault-aware
+// delivery channel the barrier exchange routes through when message faults
+// are scheduled. Everything here runs on the coordinator goroutine —
+// injection and recovery happen between the engine fan-out and the barrier
+// exchange, never inside a worker — which keeps every decision in one
+// deterministic, canonical order.
+
+// walRecord is one shard's durable log entry for the current block: the
+// state at the block boundary, the undelivered inbox, and the applied-
+// receipt journal. Restoring it is exactly "the shard restarted from its
+// last durable point".
+type walRecord struct {
+	state *chain.State
+	inbox []Receipt
+	seen  map[uint64]uint64
+}
+
+// journalBarrier writes every shard's durable log entry for the block
+// about to execute. The durable point is the boundary *entering* the
+// block so it captures mutations made between blocks (opsim funding
+// accounts at first sight, externally driven migrations), which an
+// exit-of-previous-block snapshot would lose.
+func (sc *ShardChain) journalBarrier() {
+	for i, sh := range sc.shards {
+		sc.wal[i] = walRecord{
+			state: sh.state.Copy(),
+			inbox: slices.Clone(sh.inbox),
+			seen:  maps.Clone(sh.seen),
+		}
+	}
+}
+
+// pruneSeen ages the applied-receipt journals past the dedup window. The
+// window must exceed the worst-case redelivery horizon (MaxAttempts drops
+// with capped backoff, plus the delay bound), which the defaults do with
+// a wide margin.
+func (sc *ShardChain) pruneSeen() {
+	win := sc.cfg.Fault.Schedule().DedupWindow
+	if sc.clock <= win {
+		return
+	}
+	cut := sc.clock - win
+	for _, sh := range sc.shards {
+		for id, b := range sh.seen {
+			if b < cut {
+				delete(sh.seen, id)
+			}
+		}
+	}
+}
+
+// workShardOf returns the shard doing tx's work this block: the executing
+// shard, or — for a receipts-model cross transaction — the sender's shard
+// (which debits the sender and emits the receipt).
+func (sc *ShardChain) workShardOf(tx *chain.Transaction, h *homes) int {
+	exec := sc.execShardOf(tx, h)
+	if sc.cfg.Model == ModelReceipts {
+		if sender := h.of(tx.From); sender != exec {
+			return sender
+		}
+	}
+	return exec
+}
+
+// recoverShard handles a scheduled crash-stop of shard s during the
+// current block: discard the shard's partial block work (restore the
+// durable log, clear its outboxes, subtract its stat deltas) and replay —
+// re-settle the journaled inbox, then re-run the shard's slice of the
+// block's transactions. Valid because receipts-model block work is shard-
+// isolated (a shard's work writes only its own state and its own outbox)
+// and first-sight home resolution is pure within a Step, so the replay
+// reproduces the discarded work exactly; it runs before the barrier
+// exchange, so none of the discarded emissions ever left the shard.
+func (sc *ShardChain) recoverShard(s int, txs []*chain.Transaction, receipts []*chain.Receipt) {
+	w := &sc.wal[s]
+	if w.state == nil {
+		return // duplicate schedule entry for this (block, shard)
+	}
+	inj := sc.cfg.Fault
+	start := time.Now()
+	inj.Metrics.Crashes.Add(1)
+
+	sh := sc.shards[s]
+	sh.state = w.state
+	sh.inbox = w.inbox
+	sh.seen = w.seen
+	w.state = nil // the restored copy is live now; never restore it twice
+	for dst := range sh.outbox {
+		sh.outbox[dst] = nil
+	}
+	sc.stats.sub(sc.blockDelta[s])
+	sc.blockDelta[s] = Stats{}
+
+	h := &homes{sc: sc}
+	items := 0
+	inbox := sh.inbox
+	sh.inbox = nil
+	for _, r := range inbox {
+		var eff effects
+		sc.settleOne(s, r, h, &eff, func(to types.Address, calleeHome int) {
+			sc.migrateCallee(to, calleeHome, s, &eff)
+		})
+		sc.applyEffects(s, &eff)
+		items++
+	}
+	for i, tx := range txs {
+		if sc.workShardOf(tx, h) != s {
+			continue
+		}
+		receipts[i] = sc.runTxSerial(tx, h)
+		items++
+	}
+	inj.Metrics.BlocksReplayed.Add(1)
+	inj.Metrics.ItemsReplayed.Add(uint64(items))
+	inj.Metrics.RecoveryNanos.Add(uint64(time.Since(start)))
+}
+
+// flight is one receipt inside the fault-aware delivery channel.
+type flight struct {
+	r       Receipt
+	dst     int
+	first   uint64 // barrier block it entered the channel
+	due     uint64 // earliest barrier it may next be considered
+	attempt int    // delivery attempts rolled so far
+	forced  bool   // fate already decided: deliver at due, no further rolls
+}
+
+// exchangeFaulty is the barrier exchange routed through the injector:
+// each due flight rolls its seeded outcome — dropped (re-queued with
+// backoff; attempt MaxAttempts always delivers, so the channel is
+// at-least-once), delayed, and/or duplicated — and deliveries land in the
+// destination inboxes, optionally reordered per the seeded shuffle. The
+// queue and every decision live on the coordinator, keyed by receipt ID
+// and attempt, so two runs of one schedule inject identical faults.
+func (sc *ShardChain) exchangeFaulty() {
+	inj := sc.cfg.Fault
+	for _, sh := range sc.shards {
+		for dst, rs := range sh.outbox {
+			for _, r := range rs {
+				sc.flights = append(sc.flights, flight{r: r, dst: dst, first: sc.clock, due: sc.clock})
+			}
+			sh.outbox[dst] = nil
+		}
+	}
+
+	arrivals := make([][]Receipt, sc.cfg.K)
+	deliver := func(fl flight) {
+		r := fl.r
+		d := sc.clock - fl.first // barriers the channel held it beyond normal
+		r.Delay += d
+		inj.Metrics.RedeliveryBlocks.Add(d)
+		arrivals[fl.dst] = append(arrivals[fl.dst], r)
+	}
+
+	var next []flight
+	for _, fl := range sc.flights {
+		if fl.due > sc.clock {
+			next = append(next, fl)
+			continue
+		}
+		if fl.forced {
+			deliver(fl)
+			continue
+		}
+		fl.attempt++
+		o := inj.Delivery(fl.r.ID, fl.attempt)
+		if o.Drop {
+			inj.Metrics.Dropped.Add(1)
+			fl.due = sc.clock + o.Backoff
+			next = append(next, fl)
+			continue
+		}
+		if o.Duplicate {
+			inj.Metrics.Duplicated.Add(1)
+			dup := fl
+			dup.forced = true
+			if inj.Schedule().DupAll {
+				// The reorder-property mode: the duplicate rides the same
+				// barrier as the original, maximally stressing in-barrier
+				// dedup and shuffle.
+				deliver(dup)
+			} else {
+				dup.due = sc.clock + 1
+				next = append(next, dup)
+			}
+		}
+		if o.Delay > 0 {
+			inj.Metrics.Delayed.Add(1)
+			fl.forced = true
+			fl.due = sc.clock + o.Delay
+			next = append(next, fl)
+			continue
+		}
+		deliver(fl)
+	}
+	sc.flights = next
+
+	for dst, rs := range arrivals {
+		if len(rs) == 0 {
+			continue
+		}
+		if inj.ShuffleDeliveries() {
+			rng := rand.New(rand.NewSource(int64(inj.ShuffleSeed(dst, sc.clock))))
+			rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+		}
+		sc.shards[dst].inbox = append(sc.shards[dst].inbox, rs...)
+	}
+}

@@ -1,6 +1,7 @@
 package shardchain
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -70,6 +71,20 @@ type itemRun struct {
 // migrationNeeded aborts a wave item whose internal call reached a callee
 // homed on another shard; only a serialized context may migrate it.
 type migrationNeeded struct{ to types.Address }
+
+// workerPanic wraps any non-sentinel panic escaping a wave item with the
+// shard and transaction it was executing. The sentinel check in
+// runWaveItem matches by type, so an unrelated panic (a bug, an injected
+// crash inside a worker) can never be mistaken for a migration abort and
+// silently rolled back — it surfaces, with context attached.
+type workerPanic struct {
+	Shard, Tx int
+	Val       any
+}
+
+func (p workerPanic) Error() string {
+	return fmt.Sprintf("shardchain: wave worker panic on shard %d (tx %d): %v", p.Shard, p.Tx, p.Val)
+}
 
 // stepParallel is Step's parallel engine.
 func (sc *ShardChain) stepParallel(txs []*chain.Transaction) []*chain.Receipt {
@@ -288,11 +303,15 @@ func (sc *ShardChain) runWave(txs []*chain.Transaction, items []waveItem, receip
 // by the serialized re-execution.
 func (sc *ShardChain) runWaveItem(tx *chain.Transaction, it waveItem, h *homes, eff *effects, receipts []*chain.Receipt, retain bool) (aborted bool) {
 	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(migrationNeeded); !ok {
-				panic(r)
-			}
+		switch r := recover().(type) {
+		case nil:
+		case migrationNeeded:
 			aborted = true
+		case workerPanic:
+			// Already wrapped by an inner frame; keep the innermost context.
+			panic(r)
+		default:
+			panic(workerPanic{Shard: it.work, Tx: it.idx, Val: r})
 		}
 	}()
 	if it.receiptsCross {

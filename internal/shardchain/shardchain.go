@@ -53,6 +53,7 @@ import (
 
 	"ethpart/internal/chain"
 	"ethpart/internal/evm"
+	"ethpart/internal/fault"
 	"ethpart/internal/types"
 )
 
@@ -88,6 +89,18 @@ type Receipt struct {
 	// Born is the block height (of the source shard) that emitted the
 	// receipt; settlement latency is measured against it.
 	Born uint64
+	// ID identifies one delivery hop for idempotent settlement under fault
+	// injection: the coordinator assigns it when the emission lands in an
+	// outbox (zero = unassigned), the destination shard's dedup journal
+	// suppresses re-deliveries of the same ID, and forwarding clears it so
+	// the next hop gets a fresh identity (a re-forwarded receipt is a new
+	// delivery, not a duplicate). Zero whenever no fault plane is armed.
+	ID uint64
+	// Delay accumulates fault-injected transport latency in blocks
+	// (drop/retry backoff and injected delays). Settlement subtracts it, so
+	// SettlementBlocks measures the protocol's latency, not the injector's;
+	// the injected share is reported by fault.Metrics.RedeliveryBlocks.
+	Delay uint64
 }
 
 // Stats counts the operational cost of a run.
@@ -121,6 +134,19 @@ func (s *Stats) add(d Stats) {
 	s.Failed += d.Failed
 }
 
+// sub removes a fieldwise delta — crash recovery discarding a crashed
+// shard's partial block work before replaying it.
+func (s *Stats) sub(d Stats) {
+	s.LocalTxs -= d.LocalTxs
+	s.CrossTxs -= d.CrossTxs
+	s.Messages -= d.Messages
+	s.ReceiptsSettled -= d.ReceiptsSettled
+	s.SettlementBlocks -= d.SettlementBlocks
+	s.Migrations -= d.Migrations
+	s.MigratedSlots -= d.MigratedSlots
+	s.Failed -= d.Failed
+}
+
 // Config parameterises the sharded chain.
 type Config struct {
 	K     int
@@ -146,6 +172,14 @@ type Config struct {
 	// the per-call assign callback still answers, so it should resolve
 	// from the same source's current view.
 	AssignSnapshot func() func(types.Address) (int, bool)
+	// Fault, when non-nil, arms the deterministic fault-injection plane
+	// (internal/fault): scheduled shard crash-stops recovered from the
+	// per-shard durable log, and drop/delay/duplicate faults on the barrier
+	// receipt exchange answered by retry with backoff and idempotent
+	// settlement. Crash schedules require ModelReceipts — a crash inside a
+	// migration-model block could tear a two-shard state move, which the
+	// per-shard log cannot repair.
+	Fault *fault.Injector
 }
 
 // ShardChain is the sharded execution engine.
@@ -171,6 +205,16 @@ type ShardChain struct {
 	// clock is the global block height (all shards advance in lockstep,
 	// one block per Step).
 	clock uint64
+
+	// Fault-plane state (see fault.go); all nil/zero unless Config.Fault
+	// arms it. nextReceiptID feeds delivery-hop identities, blockDelta
+	// accumulates each shard's stat deltas within the current block (the
+	// part a crash discards), wal holds the per-shard durable log, and
+	// flights is the fault-aware delivery channel's in-flight queue.
+	nextReceiptID uint64
+	blockDelta    []Stats
+	wal           []walRecord
+	flights       []flight
 }
 
 // shard is one member chain plus its receipt inbox.
@@ -181,6 +225,10 @@ type shard struct {
 	// executing the current block; delivered to peers at the block barrier
 	// in canonical (source-shard, emission-order) order.
 	outbox [][]Receipt
+	// seen journals applied receipt IDs by the block they settled (or
+	// forwarded) in, making settlement idempotent under redelivery; pruned
+	// past the schedule's dedup window. Nil unless the fault plane is armed.
+	seen map[uint64]uint64
 }
 
 // New builds a sharded chain with k shards under the given model. The
@@ -194,6 +242,10 @@ func New(cfg Config, alloc map[types.Address]evm.Word, assign func(types.Address
 	if cfg.Model != ModelReceipts && cfg.Model != ModelMigration {
 		return nil, fmt.Errorf("shardchain: invalid model %d", cfg.Model)
 	}
+	if cfg.Fault != nil && cfg.Fault.HasCrashes() && cfg.Model != ModelReceipts {
+		return nil, fmt.Errorf("shardchain: crash schedules require ModelReceipts: " +
+			"a crash inside a migration-model block could tear a two-shard state move")
+	}
 	sc := &ShardChain{
 		cfg:    cfg,
 		shards: make([]*shard, cfg.K),
@@ -204,6 +256,15 @@ func New(cfg Config, alloc map[types.Address]evm.Word, assign func(types.Address
 		sc.shards[i] = &shard{
 			state:  chain.NewState(),
 			outbox: make([][]Receipt, cfg.K),
+		}
+	}
+	if cfg.Fault != nil {
+		for _, sh := range sc.shards {
+			sh.seen = make(map[uint64]uint64)
+		}
+		if cfg.Fault.HasCrashes() {
+			sc.blockDelta = make([]Stats, cfg.K)
+			sc.wal = make([]walRecord, cfg.K)
 		}
 	}
 	for addr, bal := range alloc {
@@ -287,13 +348,25 @@ func (e *effects) emit(dst int, r Receipt) { e.out = append(e.out, emission{dst,
 
 // applyEffects lands one item's buffered effects: emissions are appended
 // to the owning shard's per-destination outbox, stat deltas to the chain
-// counters.
+// counters. It always runs on the coordinator in canonical item order —
+// serially inline, at the barrier merge in the parallel engine — which is
+// what lets the fault plane assign receipt IDs here: the assignment order
+// (and so every seeded delivery decision keyed on an ID) is identical for
+// both engines and across repeated runs.
 func (sc *ShardChain) applyEffects(src int, eff *effects) {
 	sh := sc.shards[src]
 	for _, em := range eff.out {
-		sh.outbox[em.dst] = append(sh.outbox[em.dst], em.r)
+		r := em.r
+		if sc.cfg.Fault != nil && r.ID == 0 {
+			sc.nextReceiptID++
+			r.ID = sc.nextReceiptID
+		}
+		sh.outbox[em.dst] = append(sh.outbox[em.dst], r)
 	}
 	sc.stats.add(eff.stats)
+	if sc.blockDelta != nil {
+		sc.blockDelta[src].add(eff.stats)
+	}
 }
 
 // homes is an engine's view of the account→shard map during a phase. The
@@ -387,8 +460,26 @@ func (sc *ShardChain) migrateCallee(to types.Address, calleeHome, exec int, eff 
 // re-checks the home and forwards the receipt (one more message, one more
 // block of latency), like any routed settlement layer.
 func (sc *ShardChain) settleOne(s int, r Receipt, h *homes, eff *effects, onRemote onRemoteCallee) {
+	// Idempotence under redelivery: each delivery hop carries a unique ID,
+	// and the shard's seen journal suppresses a re-delivered hop before any
+	// effect — including the forward below, or a duplicate would fork into
+	// two fresh-ID deliveries downstream that no later dedup could relate.
+	// Workers touch only their own shard's journal, so no lock is needed.
+	if sc.cfg.Fault != nil && r.ID != 0 {
+		if _, dup := sc.shards[s].seen[r.ID]; dup {
+			sc.cfg.Fault.Metrics.DupsSuppressed.Add(1)
+			return
+		}
+		sc.shards[s].seen[r.ID] = sc.clock
+	}
 	if home := h.of(r.To); home != s {
-		eff.emit(home, r)
+		fwd := r
+		// A forwarded receipt is a new delivery hop: it gets a fresh ID at
+		// the barrier (a legitimate revisit after a home flip must not be
+		// mistaken for a duplicate), but keeps its accumulated injected
+		// delay so final settlement still subtracts all of it.
+		fwd.ID = 0
+		eff.emit(home, fwd)
 		eff.stats.Messages++
 		return
 	}
@@ -396,7 +487,7 @@ func (sc *ShardChain) settleOne(s int, r Receipt, h *homes, eff *effects, onRemo
 	st.AddBalance(r.To, r.Value)
 	st.DiscardJournal()
 	eff.stats.ReceiptsSettled++
-	eff.stats.SettlementBlocks += int64(sc.clock - r.Born)
+	eff.stats.SettlementBlocks += int64(sc.clock - r.Born - r.Delay)
 	// A receipt carrying input against a contract triggers its code —
 	// the "continuation" of the cross-shard call.
 	if code := st.GetCode(r.To); len(code) > 0 {
@@ -523,11 +614,32 @@ func (sc *ShardChain) Step(txs []*chain.Transaction) []*chain.Receipt {
 		sc.blockAssign = sc.cfg.AssignSnapshot()
 		defer func() { sc.blockAssign = nil }()
 	}
+	if sc.cfg.Fault != nil {
+		sc.pruneSeen()
+		if sc.wal != nil {
+			// The durable point is the block boundary *entering* this block:
+			// it must capture mutations made between blocks (opsim funding
+			// accounts, external migrations), which a previous block's exit
+			// snapshot would miss. blockDelta restarts with it — it tracks
+			// only what a crash in *this* block would discard.
+			sc.journalBarrier()
+			for i := range sc.blockDelta {
+				sc.blockDelta[i] = Stats{}
+			}
+		}
+	}
 	var receipts []*chain.Receipt
 	if sc.cfg.Parallel {
 		receipts = sc.stepParallel(txs)
 	} else {
 		receipts = sc.stepSerial(txs)
+	}
+	if sc.cfg.Fault != nil {
+		for _, s := range sc.cfg.Fault.CrashedShards(sc.clock) {
+			if s < sc.cfg.K {
+				sc.recoverShard(s, txs, receipts)
+			}
+		}
 	}
 	sc.exchangeOutboxes()
 	return receipts
@@ -570,8 +682,13 @@ func (sc *ShardChain) settleInboxesSerial(h *homes) {
 // shard dst's next inbox is the concatenation of outbox[src][dst] for src
 // ascending, each in emission order. Both engines exchange identically, so
 // inbox contents — and therefore every later settlement — match
-// byte-for-byte.
+// byte-for-byte. With message faults armed the exchange routes through
+// the fault-aware channel instead (exchangeFaulty, fault.go).
 func (sc *ShardChain) exchangeOutboxes() {
+	if sc.cfg.Fault != nil && sc.cfg.Fault.HasMessageFaults() {
+		sc.exchangeFaulty()
+		return
+	}
 	for _, sh := range sc.shards {
 		for dst, rs := range sh.outbox {
 			if len(rs) == 0 {
@@ -671,10 +788,13 @@ func (sc *ShardChain) Known(addr types.Address) (int, bool) {
 }
 
 // PendingReceipts counts cross-shard receipts still in flight (undelivered
-// outboxes plus unsettled inboxes). Drive Step(nil) until it reaches zero
-// to fully settle a run.
+// outboxes, unsettled inboxes, and receipts held by the fault-aware
+// delivery channel — dropped-awaiting-retry, delayed, or pending
+// duplicates). Drive Step(nil) until it reaches zero to fully settle a
+// run; the at-least-once delivery bound (fault.Schedule.MaxAttempts plus
+// capped backoff) guarantees the count reaches zero in bounded blocks.
 func (sc *ShardChain) PendingReceipts() int {
-	n := 0
+	n := len(sc.flights)
 	for _, sh := range sc.shards {
 		n += len(sh.inbox)
 		for _, rs := range sh.outbox {

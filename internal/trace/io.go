@@ -102,7 +102,29 @@ type CSVReader struct {
 	// have successive data rows validated as the header and end in a
 	// clean io.EOF that masks the malformed input.
 	headerErr error
+	// skipped counts malformed records surfaced as RecordErrors.
+	skipped int64
 }
+
+// RecordError reports one malformed record. It is recoverable: the reader
+// has already advanced past the bad row, so the caller may count or log it
+// and keep reading — a single corrupt line mid-stream no longer costs the
+// tail of the dataset. Non-record failures (bad header, I/O errors) stay
+// fatal and are not RecordErrors.
+type RecordError struct {
+	Line int // 1-based line in the input, 0 if unknown
+	Err  error
+}
+
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("trace: bad CSV record at line %d: %v", e.Line, e.Err)
+}
+
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// Skipped reports how many malformed records this reader has surfaced
+// (and skipped) so far.
+func (cr *CSVReader) Skipped() int64 { return cr.skipped }
 
 // NewCSVReader returns a reader over the dataset CSV format.
 func NewCSVReader(r io.Reader) *CSVReader {
@@ -141,9 +163,23 @@ func (cr *CSVReader) Read() (Record, error) {
 		if errors.Is(err, io.EOF) {
 			return Record{}, io.EOF
 		}
+		// A CSV-level parse failure (wrong field count, bad quoting) is
+		// confined to the record the reader already consumed: surface it as
+		// a recoverable RecordError instead of killing the stream.
+		var pe *csv.ParseError
+		if errors.As(err, &pe) {
+			cr.skipped++
+			return Record{}, &RecordError{Line: pe.Line, Err: err}
+		}
 		return Record{}, fmt.Errorf("trace: reading CSV row: %w", err)
 	}
-	return parseRow(row)
+	rec, err := parseRow(row)
+	if err != nil {
+		cr.skipped++
+		line, _ := cr.r.FieldPos(0)
+		return Record{}, &RecordError{Line: line, Err: err}
+	}
+	return rec, nil
 }
 
 func parseRow(row []string) (Record, error) {
