@@ -1,0 +1,202 @@
+// Command benchjson converts `go test -bench` text output into
+// machine-readable JSON artifacts. It reads a benchmark transcript on
+// stdin and writes one BENCH_<package>.json file per benchmarked package
+// into -dir, so CI can archive and diff benchmark results without
+// scraping the human-oriented text format.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run '^$' ./... | tee bench.txt
+//	go run ./cmd/benchjson -dir . < bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark run: the full sub-benchmark name as Go
+// prints it (minus the -GOMAXPROCS suffix), the iteration count, and
+// every reported metric keyed by its unit — the standard ns/op, B/op and
+// allocs/op alongside any custom b.ReportMetric units.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// PackageResults groups the runs of one package, as delimited by the
+// `pkg:` header lines go test emits.
+type PackageResults struct {
+	Package    string        `json:"package"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Cpu        string        `json:"cpu,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// parseBench consumes a `go test -bench` transcript and returns the
+// per-package results in order of first appearance. Non-benchmark lines
+// (PASS, ok, test logs) are ignored; a malformed Benchmark line is an
+// error rather than a silent drop, so a format drift in go test breaks
+// CI loudly instead of producing empty artifacts.
+func parseBench(r io.Reader) ([]PackageResults, error) {
+	var (
+		out  []PackageResults
+		cur  *PackageResults
+		meta = map[string]string{}
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			meta[k] = strings.TrimSpace(v)
+			// go test prints cpu: after pkg:; backfill the open package.
+			if cur != nil {
+				cur.Goos, cur.Goarch, cur.Cpu = meta["goos"], meta["goarch"], meta["cpu"]
+			}
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			out = append(out, PackageResults{
+				Package: strings.TrimSpace(v),
+				Goos:    meta["goos"],
+				Goarch:  meta["goarch"],
+				Cpu:     meta["cpu"],
+			})
+			cur = &out[len(out)-1]
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if cur == nil {
+				// A transcript without pkg: headers (e.g. piped through a
+				// filter): collect under an unnamed package.
+				out = append(out, PackageResults{Package: "unknown"})
+				cur = &out[len(out)-1]
+			}
+			cur.Benchmarks = append(cur.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Drop packages that had a pkg: header but no benchmarks (pure test
+	// packages show up in ./... transcripts).
+	kept := out[:0]
+	for _, p := range out {
+		if len(p.Benchmarks) > 0 {
+			kept = append(kept, p)
+		}
+	}
+	return kept, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName/sub=x-8   123   45.6 ns/op   7 B/op   0 allocs/op   2.0 custom-unit
+//
+// i.e. name-procs, iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (BenchResult, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields)%2 != 0 {
+		return BenchResult{}, fmt.Errorf("benchjson: malformed benchmark line %q", line)
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, fmt.Errorf("benchjson: bad iteration count in %q: %v", line, err)
+	}
+	metrics := make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("benchjson: bad metric value in %q: %v", line, err)
+		}
+		metrics[fields[i+1]] = v
+	}
+	return BenchResult{Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, nil
+}
+
+// artifactName maps a package import path to its BENCH_*.json filename:
+// slashes, dots and dashes collapse to underscores so the name is safe
+// as a single path element on every platform CI runs on.
+func artifactName(pkg string) string {
+	s := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, pkg)
+	return "BENCH_" + s + ".json"
+}
+
+// writeArtifacts emits one JSON file per package into dir and returns
+// the filenames written, sorted.
+func writeArtifacts(dir string, pkgs []PackageResults) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, p := range pkgs {
+		name := artifactName(p.Package)
+		data, err := json.MarshalIndent(p, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory to write BENCH_*.json artifacts into")
+	flag.Parse()
+	pkgs, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	names, err := writeArtifacts(*dir, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	total := 0
+	for _, p := range pkgs {
+		total += len(p.Benchmarks)
+	}
+	fmt.Printf("benchjson: %d benchmarks across %d packages -> %s\n",
+		total, len(pkgs), strings.Join(names, " "))
+}

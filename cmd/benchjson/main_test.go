@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sample is a trimmed real transcript: two benchmarked packages with
+// custom ReportMetric units, a pure-test package in between, and the
+// PASS/ok noise go test interleaves.
+const sample = `goos: linux
+goarch: amd64
+pkg: ethpart/internal/graph
+cpu: Test CPU @ 2.00GHz
+BenchmarkQuietWindowSweep/mode=scheduled/live=2000-8     	       1	        68.00 ns/op	         0 B/op	       0 allocs/op	         0 touched/sweep	      2000 live-vertices
+BenchmarkQuietWindowSweep/mode=eager/live=20000-8        	       1	    365000 ns/op	         0 B/op	       0 allocs/op	     40000 touched/sweep	     20000 live-vertices
+BenchmarkCSRRebuildAfterRetirement/live=256/maxid=20480-8	       1	     13900 ns/op	     11536 B/op	       6 allocs/op	       256 live-vertices	     20480 max-id
+PASS
+ok  	ethpart/internal/graph	1.234s
+ok  	ethpart/internal/partition	0.100s
+pkg: ethpart
+BenchmarkDecayRepartition/mode=decay-8	       1	   5000000 ns/op
+PASS
+ok  	ethpart	2.000s
+`
+
+func TestParseBench(t *testing.T) {
+	pkgs, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	g := pkgs[0]
+	if g.Package != "ethpart/internal/graph" || g.Goos != "linux" || g.Cpu != "Test CPU @ 2.00GHz" {
+		t.Fatalf("bad package header: %+v", g)
+	}
+	if len(g.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks in graph, want 3", len(g.Benchmarks))
+	}
+	b := g.Benchmarks[0]
+	if b.Name != "BenchmarkQuietWindowSweep/mode=scheduled/live=2000" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b.Name)
+	}
+	if b.Procs != 8 || b.Iterations != 1 {
+		t.Errorf("procs/iters = %d/%d, want 8/1", b.Procs, b.Iterations)
+	}
+	if b.Metrics["ns/op"] != 68 || b.Metrics["allocs/op"] != 0 ||
+		b.Metrics["live-vertices"] != 2000 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	// Custom ReportMetric units survive on the CSR bench too.
+	csr := g.Benchmarks[2]
+	if csr.Metrics["max-id"] != 20480 || csr.Metrics["live-vertices"] != 256 {
+		t.Errorf("csr metrics = %v", csr.Metrics)
+	}
+	if pkgs[1].Package != "ethpart" || len(pkgs[1].Benchmarks) != 1 {
+		t.Errorf("root package results = %+v", pkgs[1])
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8",               // no iteration count
+		"BenchmarkX-8 12 ns/op",      // odd metric fields
+		"BenchmarkX-8 notanumber ns", // bad count
+	} {
+		if _, err := parseBench(strings.NewReader("pkg: p\n" + bad + "\n")); err == nil {
+			t.Errorf("parseBench accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	pkgs, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	names, err := writeArtifacts(dir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BENCH_ethpart.json", "BENCH_ethpart_internal_graph.json"}
+	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("artifacts = %v, want %v", names, want)
+	}
+	// Round-trip: the artifact decodes back to the parsed results.
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_ethpart_internal_graph.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PackageResults
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Package != "ethpart/internal/graph" || len(got.Benchmarks) != 3 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if got.Benchmarks[1].Metrics["touched/sweep"] != 40000 {
+		t.Errorf("eager touched/sweep = %v", got.Benchmarks[1].Metrics)
+	}
+}

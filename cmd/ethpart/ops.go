@@ -10,6 +10,7 @@ import (
 
 	"ethpart/internal/experiments"
 	"ethpart/internal/report"
+	"ethpart/internal/sim"
 )
 
 // runOps executes the ops subcommand: generate a seeded workload, replay it
@@ -128,18 +129,34 @@ func opsTable(w io.Writer, rows, prows []experiments.OperationalRow) error {
 // opsCSV emits every window of every run as one CSV stream. Windows in
 // which nothing settled leave mean_settlement_blocks empty: the mean of
 // zero settlements is undefined, and the raw quotient used to print NaN.
+// The trailing sweep columns expose the decay hot path per window: live
+// graph size when the window flushed, the wall-clock cost of the sweep
+// that followed it, and whether the cut recount was skipped because the
+// sweep was quiet. Runs without decay never sweep, so they report zero
+// sweep time and every recount skipped.
 func opsCSV(w io.Writer, rows []experiments.OperationalRow) error {
 	headers := []string{
 		"method", "model", "window_start", "interactions", "cross_txs",
 		"messages", "receipts_settled", "mean_settlement_blocks",
 		"migrations", "migrated_slots", "failed", "dynamic_cut",
+		"live_graph", "sweep_ns", "recount_skipped",
 	}
 	var out [][]string
 	for _, row := range rows {
+		sweeps := map[int64]sim.SweepObs{}
+		for _, so := range row.Result.Sweeps {
+			sweeps[so.Start.Unix()] = so
+		}
 		for _, win := range row.Result.Windows {
 			settlement := ""
 			if win.ReceiptsSettled > 0 {
 				settlement = fmt.Sprintf("%.3f", win.MeanSettlement())
+			}
+			liveGraph, sweepNs, skipped := "", "", ""
+			if so, ok := sweeps[win.Start.Unix()]; ok {
+				liveGraph = strconv.Itoa(so.LiveVertices)
+				sweepNs = strconv.FormatInt(so.SweepNanos, 10)
+				skipped = strconv.FormatBool(so.RecountSkipped)
 			}
 			out = append(out, []string{
 				row.Method.String(),
@@ -154,6 +171,9 @@ func opsCSV(w io.Writer, rows []experiments.OperationalRow) error {
 				strconv.FormatInt(win.MigratedSlots, 10),
 				strconv.FormatInt(win.Failed, 10),
 				fmt.Sprintf("%.6f", win.DynamicCut),
+				liveGraph,
+				sweepNs,
+				skipped,
 			})
 		}
 	}

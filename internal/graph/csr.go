@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // CSR is a compact, immutable, undirected view of a Graph in compressed
@@ -11,14 +11,16 @@ import (
 // weight is the sum of both directions.
 //
 // Vertices are renumbered to dense local indices [0, N). IDs maps a local
-// index back to the original VertexID and Index maps a VertexID to its local
-// index.
+// index back to the original VertexID; LocalOf maps a VertexID back to its
+// local index. There is deliberately no dense ID->local table on the CSR
+// itself: such a table is O(MaxID) — the historical ID space — and filling
+// it made every build pay for every ID ever seen even when the live graph
+// had shrunk to a handful of vertices. The builder keeps one reusable
+// scratch table instead (see CSRBuilder), and the finished CSR answers
+// reverse lookups by binary search over its sorted IDs list.
 type CSR struct {
 	// IDs maps local index -> original vertex ID, sorted ascending.
 	IDs []VertexID
-	// Index maps original vertex ID -> local index. It is a dense table
-	// over the graph's ID space ([0, MaxID)); IDs not in the graph hold -1.
-	Index []int32
 	// VW holds per-vertex dynamic weights (interaction counts).
 	VW []int64
 	// XAdj is the CSR row index: the neighbours of local vertex i are
@@ -38,20 +40,51 @@ type CSR struct {
 	NumEdges int
 }
 
-// CSRBuilder builds CSRs while reusing its merge scratch across builds, so
-// the simulator's periodic window rebuilds stop allocating the intermediate
-// half-edge buffers every two simulated weeks. The zero value is ready to
-// use. A builder is not safe for concurrent use; the CSRs it returns are
-// independent of the builder and of each other.
+// LocalOf returns the local index of the given vertex ID, or -1 when the ID
+// is not in this CSR. O(log N) — a binary search over the sorted IDs list.
+// Hot loops that resolve IDs per edge should iterate local indices and use
+// IDs for the reverse direction instead.
+func (c *CSR) LocalOf(id VertexID) int32 {
+	if p, ok := slices.BinarySearch(c.IDs, id); ok {
+		return int32(p)
+	}
+	return -1
+}
+
+// CSRBuilder builds CSRs while reusing scratch across builds: the merge
+// buffers for the intermediate half edges, and the dense ID->local index
+// used to resolve neighbour IDs during the gather pass. The index is the
+// load-bearing piece of the O(live) build contract: it spans the graph's
+// dense ID space but is initialised (to -1) only when it grows, and after
+// every build it is wiped back to -1 by walking the *live* IDs list — so a
+// build does O(live vertices + live edges) index work however large the
+// historical ID space has become, where the old per-CSR table paid an
+// O(MaxID) fill every build. The zero value is ready to use. A builder is
+// not safe for concurrent use; the CSRs it returns never alias builder
+// scratch and are independent of the builder and of each other.
 type CSRBuilder struct {
 	halfTo []int32 // merged adjacency targets, grouped by source local index
 	halfW  []int64 // weights parallel to halfTo
 	fill   []int32 // per-row write cursor for the scatter pass
+	// index is the reusable dense ID->local scratch table. Invariant
+	// between builds: every entry is -1 (established at growth, restored by
+	// the post-build clear walk).
+	index []int32
+	// indexClears counts entries restored to -1 by post-build clear walks —
+	// exactly the live-ID writes, observable so the O(live) contract can be
+	// asserted by a regression test instead of trusted.
+	indexClears int
 }
+
+// IndexClears returns the cumulative number of scratch-index entries this
+// builder has cleared across all builds: one per live dense-ID vertex per
+// build, never O(MaxID).
+func (b *CSRBuilder) IndexClears() int { return b.indexClears }
 
 // NewCSR builds the undirected CSR view of g. The result does not alias g;
 // later mutations of g are not reflected. Callers building CSRs repeatedly
-// should hold a CSRBuilder and call its Build method instead.
+// should hold a CSRBuilder and call its Build method instead — a one-shot
+// builder pays the full scratch-index initialisation for nothing.
 func NewCSR(g *Graph) *CSR {
 	return new(CSRBuilder).Build(g)
 }
@@ -65,29 +98,35 @@ func NewCSR(g *Graph) *CSR {
 func (b *CSRBuilder) Build(g *Graph) *CSR {
 	n := g.VertexCount()
 	c := &CSR{
-		IDs:   g.VertexIDs(),
-		Index: make([]int32, g.MaxID()),
-		VW:    make([]int64, n),
-		XAdj:  make([]int32, n+1),
+		IDs:  g.VertexIDs(),
+		VW:   make([]int64, n),
+		XAdj: make([]int32, n+1),
 	}
-	for i := range c.Index {
-		c.Index[i] = -1
+	// Grow the scratch index to the graph's dense ID bound. Only the grown
+	// region pays a -1 fill, once per high-water mark — not per build.
+	if m := int(g.MaxID()); len(b.index) < m {
+		grown := append(b.index, make([]int32, m-len(b.index))...)
+		for i := len(b.index); i < len(grown); i++ {
+			grown[i] = -1
+		}
+		b.index = grown
 	}
 	for i, id := range c.IDs {
-		if id < VertexID(len(c.Index)) {
-			c.Index[id] = int32(i)
+		if id < VertexID(len(b.index)) {
+			b.index[id] = int32(i)
 		}
 		w := g.weights[g.slotOf(id)]
 		c.VW[i] = w
 		c.TotalVW += w
 	}
-	// localOf resolves a vertex ID to its local index: a table probe for
-	// dense IDs, a binary search over the sorted ID list for spilled ones.
+	// localOf resolves a vertex ID to its local index: a scratch-table
+	// probe for dense IDs, a binary search over the sorted ID list for
+	// spilled ones.
 	localOf := func(v VertexID) int32 {
-		if v < VertexID(len(c.Index)) {
-			return c.Index[v]
+		if v < VertexID(len(b.index)) {
+			return b.index[v]
 		}
-		return int32(sort.Search(len(c.IDs), func(q int) bool { return c.IDs[q] >= v }))
+		return c.LocalOf(v)
 	}
 
 	// Gather pass: the merged (undirected, deduplicated) adjacency of every
@@ -140,6 +179,15 @@ func (b *CSRBuilder) Build(g *Graph) *CSR {
 			}
 		}
 	}
+
+	// Restore the scratch-index invariant by walking the live IDs — an
+	// O(live) clear in place of the old O(MaxID) per-build fill.
+	for _, id := range c.IDs {
+		if id < VertexID(len(b.index)) {
+			b.index[id] = -1
+			b.indexClears++
+		}
+	}
 	return c
 }
 
@@ -167,9 +215,9 @@ func (c *CSR) Validate() error {
 	if int(c.XAdj[n]) != len(c.Adj) || len(c.Adj) != len(c.AdjW) {
 		return fmt.Errorf("csr: adjacency length mismatch")
 	}
-	for i, id := range c.IDs {
-		if id < VertexID(len(c.Index)) && c.Index[id] != int32(i) {
-			return fmt.Errorf("csr: Index does not invert IDs at local %d (id %d)", i, id)
+	for i := 1; i < n; i++ {
+		if c.IDs[i-1] >= c.IDs[i] {
+			return fmt.Errorf("csr: IDs not strictly ascending at local %d", i)
 		}
 	}
 	var ew int64
@@ -188,8 +236,8 @@ func (c *CSR) Validate() error {
 			}
 			// Symmetry: j must list i with the same weight.
 			radj, rw := c.Row(j)
-			pos := sort.Search(len(radj), func(q int) bool { return radj[q] >= i })
-			if pos == len(radj) || radj[pos] != i {
+			pos, ok := slices.BinarySearch(radj, i)
+			if !ok {
 				return fmt.Errorf("csr: edge %d-%d not symmetric", i, j)
 			}
 			if rw[pos] != w[p] {

@@ -37,7 +37,7 @@ func TestCSRSmall(t *testing.T) {
 		t.Fatalf("TotalEW = %d, want 6", c.TotalEW)
 	}
 
-	i10 := c.Index[10]
+	i10 := c.LocalOf(10)
 	adj, w := c.Row(i10)
 	if len(adj) != 2 {
 		t.Fatalf("degree of 10 = %d, want 2", len(adj))

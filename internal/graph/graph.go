@@ -20,7 +20,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // VertexID uniquely identifies an account or contract in the graph.
@@ -72,10 +72,18 @@ const rowIndexThreshold = 32
 // out row of u and the in row of v) always carry identical weight and
 // touch, so a decay sweep drops or keeps them consistently without any
 // cross-row surgery.
+//
+// dec tags the epoch the scheduled decay path last rescaled this entry
+// (meaningful on the out copy only, which is the canonical one): the
+// heavy list may carry duplicate references to one edge, and the tag
+// makes the second visit within a sweep a no-op instead of a double
+// decay. It occupies what used to be struct padding, so the entry stays
+// 24 bytes.
 type halfEdge struct {
 	to    VertexID
 	w     int64
 	touch uint32 // epoch of the last AddInteraction on this edge
+	dec   uint32 // epoch of the last scheduled rescale (out copy only)
 }
 
 // row is one adjacency direction of a vertex: half edges in insertion
@@ -103,13 +111,17 @@ func (r *row) find(v VertexID) int32 {
 }
 
 // add accumulates weight w onto the edge to v, creating the entry if it is
-// new, and reports whether it was created. New rows draw their first block
-// from g's edge arena.
-func (r *row) add(g *Graph, v VertexID, w int64) bool {
+// new. It reports whether the entry was created and, for existing entries,
+// the weight and touch epoch it had before this call (zero for created
+// ones) — the scheduled decay path uses them to decide whether the edge
+// needs a new horizon bucket or a heavy-list entry. New rows draw their
+// first block from g's edge arena.
+func (r *row) add(g *Graph, v VertexID, w int64) (created bool, oldW int64, oldTouch uint32) {
 	if p := r.find(v); p >= 0 {
+		oldW, oldTouch = r.e[p].w, r.e[p].touch
 		r.e[p].w += w
 		r.e[p].touch = g.epoch
-		return false
+		return false, oldW, oldTouch
 	}
 	if r.e == nil {
 		r.e = g.newRowBlock()
@@ -123,7 +135,27 @@ func (r *row) add(g *Graph, v VertexID, w int64) bool {
 			r.idx[r.e[i].to] = int32(i)
 		}
 	}
-	return true
+	return true, 0, 0
+}
+
+// removeAt deletes the entry at position p, preserving entry order
+// (iteration order is observable through Neighbors and Edges) and keeping
+// the position index consistent with the shifted tail.
+func (r *row) removeAt(p int32) {
+	victim := r.e[p].to
+	copy(r.e[p:], r.e[p+1:])
+	r.e = r.e[:len(r.e)-1]
+	if r.idx == nil {
+		return
+	}
+	delete(r.idx, victim)
+	if len(r.e) <= rowIndexThreshold {
+		r.idx = nil
+		return
+	}
+	for i := int(p); i < len(r.e); i++ {
+		r.idx[r.e[i].to] = int32(i)
+	}
 }
 
 // clone returns a deep copy of the row.
@@ -168,6 +200,12 @@ type Graph struct {
 	free []int32
 	// epoch counts DecayWeights sweeps; touch stamps compare against it.
 	epoch uint32
+	// sched, when non-nil, holds the scheduled (lazy) decay state: horizon
+	// buckets and heavy lists that make a sweep O(touched traffic) instead
+	// of O(live graph). Enabled by EnableScheduledDecay on an empty graph;
+	// dropped permanently if a sweep is ever requested at a different
+	// horizon (the eager full scan takes over).
+	sched *decaySchedule
 
 	// arena hands out the initial fixed-size block of every adjacency row.
 	// Most vertices stay within one block for their whole life, so row
@@ -240,6 +278,10 @@ func (g *Graph) EnsureVertex(id VertexID, kind Kind) bool {
 		g.weights[s] = 0
 		g.touch[s] = g.epoch
 		g.indexSlot(id, s)
+		if g.sched != nil {
+			g.sched.vdec[s] = 0
+			g.scheduleVertex(id, s)
+		}
 		return true
 	}
 	s = int32(len(g.ids))
@@ -250,6 +292,10 @@ func (g *Graph) EnsureVertex(id VertexID, kind Kind) bool {
 	g.out = append(g.out, row{})
 	g.in = append(g.in, row{})
 	g.indexSlot(id, s)
+	if g.sched != nil {
+		g.sched.vdec = append(g.sched.vdec, 0)
+		g.scheduleVertex(id, s)
+	}
 	return true
 }
 
@@ -311,23 +357,53 @@ func (g *Graph) AddInteraction(from, to VertexID, fromKind, toKind Kind, w int64
 	g.EnsureVertex(to, toKind)
 	sf := g.slotOf(from)
 
-	g.weights[sf] += w
-	g.touch[sf] = g.epoch
-	g.totalVertWeight += w
+	g.touchVertex(from, sf, w)
 	if from == to {
 		return nil
 	}
 	st := g.slotOf(to)
-	g.weights[st] += w
-	g.touch[st] = g.epoch
-	g.totalVertWeight += w
+	g.touchVertex(to, st, w)
 
-	if g.out[sf].add(g, to, w) {
+	created, oldW, oldTouch := g.out[sf].add(g, to, w)
+	if created {
 		g.numEdges++
+	}
+	if g.sched != nil {
+		// The canonical (out) copy drives the scheduled decay state: a
+		// fresh touch epoch files a new horizon bucket, and a weight
+		// crossing the decay floor joins the heavy list. A created edge was
+		// pushed with w directly; an existing one at the floor (weight one,
+		// by the heavy invariant the only weight not already listed) grows
+		// past it with any positive increment.
+		if created || oldTouch != g.epoch {
+			g.scheduleEdgeExpiry(from, to)
+		}
+		if (created && w >= 2) || (!created && oldW == 1) {
+			g.sched.heavyE = append(g.sched.heavyE, edgeRef{u: from, v: to})
+		}
 	}
 	g.in[st].add(g, from, w)
 	g.totalEdgeWeight += w
 	return nil
+}
+
+// touchVertex applies one interaction's weight to the vertex in slot s and
+// stamps its touch epoch, maintaining the scheduled decay state: the first
+// touch of an epoch re-files the horizon bucket, and a weight leaving the
+// decay floor (one) joins the heavy list so the next sweep rescales it.
+func (g *Graph) touchVertex(id VertexID, s int32, w int64) {
+	oldW := g.weights[s]
+	g.weights[s] += w
+	g.totalVertWeight += w
+	if g.sched != nil {
+		if g.touch[s] != g.epoch {
+			g.scheduleExpiry(id)
+		}
+		if oldW == 1 {
+			g.sched.heavyV = append(g.sched.heavyV, heavyVertex{s: s, id: id})
+		}
+	}
+	g.touch[s] = g.epoch
 }
 
 // VertexCount returns the number of live vertices.
@@ -362,23 +438,20 @@ func (g *Graph) Vertices(fn func(id VertexID, kind Kind, weight int64) bool) {
 }
 
 // VertexIDs returns all vertex IDs in ascending order. The slice is freshly
-// allocated on every call.
+// allocated on every call, sized by the live vertex count — collecting from
+// the slot records and sorting keeps the call O(peak slots + n log n)
+// regardless of how large the historical ID space (MaxID) has grown, where
+// a scan of the dense slot table would pay O(IDs ever) after mass
+// retirement shrinks the live graph.
 func (g *Graph) VertexIDs() []VertexID {
-	ids := make([]VertexID, 0, len(g.ids))
-	for id, s := range g.slot {
-		if s >= 0 {
-			ids = append(ids, VertexID(id))
+	ids := make([]VertexID, 0, g.VertexCount())
+	for s, id := range g.ids {
+		if g.kinds[s] == 0 {
+			continue // free slot
 		}
+		ids = append(ids, id)
 	}
-	if len(g.spill) > 0 {
-		// Spilled IDs are all >= denseIDLimit, i.e. above every dense ID;
-		// sorting just the spilled tail keeps the whole slice ordered.
-		tail := len(ids)
-		for id := range g.spill {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids[tail:], func(i, j int) bool { return ids[tail+i] < ids[tail+j] })
-	}
+	slices.Sort(ids)
 	return ids
 }
 
@@ -513,6 +586,9 @@ func (g *Graph) Clone() *Graph {
 	for i := range g.out {
 		c.out[i] = g.out[i].clone()
 		c.in[i] = g.in[i].clone()
+	}
+	if g.sched != nil {
+		c.sched = g.sched.clone()
 	}
 	return c
 }

@@ -20,6 +20,17 @@ func stripMeasurement(r *Result) *Result {
 	c := *r
 	c.StepNanos = 0
 	c.DirectoryStats = nil
+	if c.Sweeps != nil {
+		// SweepNanos is wall clock; the rest of each observation (live
+		// sizes, touched counts, skip flags) is simulation state and must
+		// still match.
+		sweeps := make([]sim.SweepObs, len(c.Sweeps))
+		copy(sweeps, c.Sweeps)
+		for i := range sweeps {
+			sweeps[i].SweepNanos = 0
+		}
+		c.Sweeps = sweeps
+	}
 	return &c
 }
 

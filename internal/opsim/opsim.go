@@ -173,6 +173,11 @@ type Result struct {
 	WaveMigratedSlots int64
 	// Sim is the lockstep simulator's result (the dynamic-cut curves).
 	Sim *sim.Result
+	// Sweeps are the simulator's per-window decay-sweep observations
+	// (live-graph size, sweep wall time, whether cut maintenance skipped),
+	// parallel to Sim.Windows. SweepNanos entries are measurement, not
+	// simulation state — like StepNanos, they vary between identical runs.
+	Sweeps []sim.SweepObs
 	// Parallel records which chain engine ran.
 	Parallel bool
 	// DirectoryStats summarises the placement directory at end of run
@@ -411,6 +416,7 @@ func (r *runner) run() (*Result, error) {
 	}
 	r.res.Totals = r.sc.Stats()
 	r.res.Sim = r.s.Finish()
+	r.res.Sweeps = r.s.Sweeps()
 	if r.dir != nil {
 		st := r.dir.Stats()
 		r.res.DirectoryStats = &st

@@ -104,7 +104,7 @@ func TestToPartsMarksUnassigned(t *testing.T) {
 	a, _ := NewAssignment(2)
 	a.Assign(1, 1)
 	parts := a.ToParts(c)
-	i1, i2 := c.Index[1], c.Index[2]
+	i1, i2 := c.LocalOf(1), c.LocalOf(2)
 	if parts[i1] != 1 {
 		t.Errorf("assigned vertex got %d", parts[i1])
 	}

@@ -127,6 +127,16 @@ type Config struct {
 	// the full history. Defaults to 4×DecayHalfLife when decay is enabled;
 	// ignored when it is not.
 	Horizon time.Duration
+	// DecayedWindow, in decay mode, gives KL and R-METIS the decayed
+	// repartition source TR-METIS gained first: instead of the raw
+	// since-last-repartition window graph, the partitioner sees the window
+	// vertices together with their decayed live neighbourhood — every
+	// surviving edge of the cumulative graph incident to a window vertex,
+	// at its decayed weight — so heavy recent traffic outvotes one-off
+	// interactions and cross-window adjacency the raw window cannot see
+	// still pulls neighbours together. Ignored outside decay mode and by
+	// methods with no window source (HASH, METIS, decayed TR-METIS).
+	DecayedWindow bool
 	// Multilevel configures the METIS-substitute partitioner.
 	Multilevel multilevel.Config
 	// KL configures the Kernighan–Lin refiner.
@@ -245,6 +255,29 @@ type Result struct {
 	Vertices, Edges int
 }
 
+// SweepObs is one window's decay-sweep observation — the measurement half
+// of the O(touched) hot-path claim, kept outside Result so measurement
+// noise (nanoseconds) never perturbs result goldens. One entry is recorded
+// per flushed window, decay mode or not; windows without a sweep (decay
+// off, or an empty live graph) report zero work and RecountSkipped true.
+type SweepObs struct {
+	// Start is the window's start time (joins with WindowStat.Start).
+	Start time.Time
+	// LiveVertices is the live-graph size after the window's sweep.
+	LiveVertices int
+	// SweepNanos is the wall time of the decay sweep, including the
+	// incremental cut-counter updates driven by its edge deltas.
+	SweepNanos int64
+	// Touched counts the entries the sweep visited (graph.DecayDelta's
+	// work metric): O(touched traffic) on the scheduled path regardless of
+	// live-graph size.
+	Touched int
+	// RecountSkipped reports that the sweep changed no edge, so cut
+	// maintenance — the former per-window O(live edges) recount — did zero
+	// work this window.
+	RecountSkipped bool
+}
+
 // Simulator replays interaction records under one method configuration.
 // Feed it records in time order via Process, then call Finish.
 //
@@ -315,6 +348,9 @@ type Simulator struct {
 	// from Config.Placement (and the decay mode) at construction.
 	fennelPlace bool
 
+	// sweeps records one SweepObs per flushed window; see Sweeps.
+	sweeps []SweepObs
+
 	result Result
 }
 
@@ -365,6 +401,12 @@ func New(cfg Config) (*Simulator, error) {
 		// every boundary).
 		s.decayMaxAge = uint32((int64(cfg.Horizon)+int64(cfg.Window)-1)/int64(cfg.Window) + 1)
 		s.liveCounts = make([]int, cfg.K)
+		// Scheduled decay makes each sweep O(traffic touched within the
+		// horizon) instead of O(live graph); it is observably identical to
+		// the eager sweep (pinned by the graph package's property test). A
+		// horizon beyond the schedule's ring bound simply stays on the
+		// eager path — correct either way, so the error is not one.
+		_ = s.full.EnableScheduledDecay(s.decayMaxAge)
 	}
 	switch cfg.Placement {
 	case PenaltyAuto:
@@ -392,6 +434,11 @@ func (s *Simulator) Assignment() *partition.Assignment { return s.assign }
 
 // Graph exposes the cumulative graph (read-only use).
 func (s *Simulator) Graph() *graph.Graph { return s.full }
+
+// Sweeps returns the per-window sweep observations recorded so far, one
+// per flushed window, parallel to Result.Windows. The slice aliases the
+// simulator's internal storage; callers must not modify it.
+func (s *Simulator) Sweeps() []SweepObs { return s.sweeps }
 
 // Process consumes one interaction record. Records must arrive in
 // non-decreasing time order.
@@ -534,6 +581,13 @@ func (s *Simulator) flushWindow() {
 		stat.StaticCut = float64(s.cutEdges) / float64(s.totalEdges)
 	}
 	s.result.Windows = append(s.result.Windows, stat)
+	// Pre-fill the window's sweep observation; decayStep overwrites it if
+	// a sweep actually runs (it fires right after this flush).
+	s.sweeps = append(s.sweeps, SweepObs{
+		Start:          s.winStart,
+		LiveVertices:   s.full.VertexCount(),
+		RecountSkipped: true,
+	})
 
 	for i := range s.winLoad {
 		s.winLoad[i] = 0
@@ -544,41 +598,75 @@ func (s *Simulator) flushWindow() {
 }
 
 // decayStep ages the cumulative graph by one window in decay mode: weights
-// shrink by the per-window factor, entries beyond the retention horizon
-// retire, and the cumulative cut counters are rebuilt over the surviving
-// live graph so StaticCut stays Eq. 1 over exactly what the partitioners
-// see. The rebuild is O(live edges) — the same order as the decay sweep it
-// follows — and happens only in decay mode, so disabled runs never touch
-// this path.
+// shrink by the per-window factor and entries beyond the retention horizon
+// retire. The cumulative cut counters are maintained *incrementally* from
+// the sweep's edge deltas — every dropped or rescaled directed edge
+// adjusts the counters by exactly its change, against the sticky shard
+// assignments both endpoints are guaranteed to hold — so StaticCut stays
+// Eq. 1 over exactly what the partitioners see without the former
+// per-window O(live edges) recount. A quiet sweep (nothing dropped,
+// nothing rescaled — the steady state once weights sit at the decay floor)
+// does zero cut-maintenance work; recountCut survives as the test oracle
+// this path is checked against.
 func (s *Simulator) decayStep() {
 	if !s.decayEnabled() {
 		return
 	}
 	if s.full.VertexCount() == 0 {
-		// Nothing live: the sweep and the recount would both be no-ops.
-		// A long quiet gap rolls over thousands of windows; skipping here
-		// keeps that O(windows), not O(windows × peak slots). Skipping the
-		// epoch advance is safe — ages only matter relative to sweeps that
-		// actually saw something.
+		// Nothing live: the sweep would be a no-op. A long quiet gap rolls
+		// over thousands of windows; skipping here keeps that O(windows),
+		// not O(windows × peak slots). Skipping the epoch advance is safe —
+		// ages only matter relative to sweeps that actually saw something.
 		return
 	}
-	s.full.DecayRetired(s.decayFactor, s.decayMaxAge, func(v graph.VertexID) {
-		// Retired vertices keep their sticky assignment but leave the
-		// live population.
-		if shard, ok := s.assign.ShardOf(v); ok {
-			s.liveCounts[shard]--
-			if s.cfg.OnRetire != nil {
-				s.cfg.OnRetire(v, shard)
+	start := time.Now()
+	delta := s.full.DecaySweep(s.decayFactor, s.decayMaxAge,
+		func(v graph.VertexID) {
+			// Retired vertices keep their sticky assignment but leave the
+			// live population.
+			if shard, ok := s.assign.ShardOf(v); ok {
+				s.liveCounts[shard]--
+				if s.cfg.OnRetire != nil {
+					s.cfg.OnRetire(v, shard)
+				}
 			}
-		}
-	})
-	s.recountCut()
+		},
+		func(u, v graph.VertexID, oldW, newW int64) {
+			// One callback per changed directed edge: newW == 0 is a
+			// horizon drop, otherwise a weight rescale. Assignments are
+			// sticky through retirement, so both endpoints still resolve
+			// even when the sweep is about to retire them.
+			su, _ := s.assign.ShardOf(u)
+			sv, _ := s.assign.ShardOf(v)
+			cross := su != sv
+			if newW == 0 {
+				s.totalEdges--
+				s.totalWeight -= oldW
+				if cross {
+					s.cutEdges--
+					s.cutWeight -= oldW
+				}
+				return
+			}
+			s.totalWeight += newW - oldW
+			if cross {
+				s.cutWeight += newW - oldW
+			}
+		})
+	obs := &s.sweeps[len(s.sweeps)-1]
+	obs.SweepNanos = time.Since(start).Nanoseconds()
+	obs.LiveVertices = s.full.VertexCount()
+	obs.Touched = delta.Touched
+	obs.RecountSkipped = delta.Quiet()
 }
 
 // recountCut rebuilds the cumulative cut counters from the live graph and
 // the current assignment. Every live vertex has a shard (placement happens
 // on first sight and assignments are sticky through retirement), so the
-// counters stay exact under decay and retirement.
+// counters stay exact under decay and retirement. The hot path maintains
+// the counters incrementally (Process, moveCutDelta, and decayStep's sweep
+// deltas); this full recount is retained as the oracle the incremental
+// path is verified against in tests.
 func (s *Simulator) recountCut() {
 	s.cutEdges, s.totalEdges = 0, 0
 	s.cutWeight, s.totalWeight = 0, 0
@@ -669,13 +757,22 @@ func (s *Simulator) repartition(now time.Time) error {
 	var moves int
 	switch s.cfg.Method {
 	case MethodKL:
-		// KL refines using the transactions of the period (window graph).
-		if s.window.VertexCount() == 0 {
+		// KL refines using the transactions of the period (window graph),
+		// or — with DecayedWindow in decay mode — the window vertices with
+		// their decayed live neighbourhood, so refinement gains weigh
+		// recency-weighted adjacency instead of the raw period counts.
+		src := s.window
+		if s.useDecayedWindow() {
+			src = s.decayedWindowGraph()
+		}
+		if src.VertexCount() == 0 {
 			break
 		}
-		csr := s.csrb.Build(s.window)
+		csr := s.csrb.Build(src)
 		parts := s.assign.ToParts(csr)
-		// All window vertices were placed on first sight.
+		// All source vertices were placed on first sight (assignments are
+		// sticky through retirement, so decayed-neighbourhood vertices
+		// resolve too).
 		refined, err := s.kl.Refine(csr, s.cfg.K, parts)
 		if err != nil {
 			return fmt.Errorf("sim: KL refine: %w", err)
@@ -701,10 +798,13 @@ func (s *Simulator) repartition(now time.Time) error {
 		// TR-METIS in decay mode, which partitions the decayed live graph:
 		// the same recency bias with heavy recent edges still outvoting
 		// one-off traffic, and bounded by the retention horizon instead of
-		// the (unbounded) time between firings.
+		// the (unbounded) time between firings. R-METIS with DecayedWindow
+		// takes the middle ground: window ∪ decayed neighbourhood.
 		src := s.window
 		if s.cfg.Method == MethodTRMetis && s.decayEnabled() {
 			src = s.full
+		} else if s.useDecayedWindow() {
+			src = s.decayedWindowGraph()
 		}
 		if src.VertexCount() == 0 {
 			break
@@ -728,6 +828,55 @@ func (s *Simulator) repartition(now time.Time) error {
 		s.cfg.OnRepartition(now, moves)
 	}
 	return nil
+}
+
+// useDecayedWindow reports whether window-sourced methods (KL, R-METIS)
+// should repartition the decayed window union instead of the raw window.
+func (s *Simulator) useDecayedWindow() bool {
+	return s.cfg.DecayedWindow && s.decayEnabled()
+}
+
+// decayedWindowGraph builds the decayed repartition source for KL and
+// R-METIS: the vertices of the current window graph, plus every edge of
+// the decayed cumulative graph incident to at least one of them — at its
+// decayed weight — which pulls in the one-hop decayed neighbourhood. This
+// is the window-scoped analogue of the full decayed graph TR-METIS
+// partitions: bounded by the window's reach rather than the whole live
+// graph, but seeing recency-weighted adjacency instead of raw period
+// counts. Window vertices whose every trace of activity has already
+// retired from the live graph are kept as isolated vertices, so the
+// partitioner still re-balances them.
+func (s *Simulator) decayedWindowGraph() *graph.Graph {
+	u := graph.New()
+	s.window.Vertices(func(id graph.VertexID, kind graph.Kind, _ int64) bool {
+		if !s.full.HasVertex(id) {
+			// Retired mid-period: no decayed adjacency survives, but the
+			// vertex did transact this period and stays partitionable.
+			u.EnsureVertex(id, kind)
+			return true
+		}
+		u.EnsureVertex(id, s.full.VertexKind(id))
+		// All decayed out-edges of a window vertex...
+		s.full.OutNeighbors(id, func(v graph.VertexID, w int64) bool {
+			if err := u.AddInteraction(id, v, s.full.VertexKind(id), s.full.VertexKind(v), w); err != nil {
+				panic(fmt.Sprintf("sim: decayed window union: %v", err))
+			}
+			return true
+		})
+		// ...plus decayed in-edges from outside the window (edges between
+		// two window vertices are covered once, by the source's out pass).
+		s.full.InNeighbors(id, func(v graph.VertexID, w int64) bool {
+			if s.window.HasVertex(v) {
+				return true
+			}
+			if err := u.AddInteraction(v, id, s.full.VertexKind(v), s.full.VertexKind(id), w); err != nil {
+				panic(fmt.Sprintf("sim: decayed window union: %v", err))
+			}
+			return true
+		})
+		return true
+	})
+	return u
 }
 
 // applyParts applies a partitioner result, accounting moved storage and
