@@ -22,6 +22,7 @@ import (
 	"ethpart/internal/evm"
 	"ethpart/internal/experiments"
 	"ethpart/internal/graph"
+	"ethpart/internal/opsim"
 	"ethpart/internal/partition"
 	"ethpart/internal/partition/multilevel"
 	"ethpart/internal/shardchain"
@@ -578,6 +579,53 @@ func BenchmarkDecayRepartition(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAutoscaleResize measures the elastic-shard-count machinery end
+// to end: the flash-crowd trace replayed through the live chain and
+// directory with the saturation controller armed, so each iteration pays
+// for the split's re-partition wave and the merge's drain and lane
+// decommission on top of the steady-state replay. It runs in the CI bench
+// smoke so resize cost is tracked alongside repartition cost.
+func BenchmarkAutoscaleResize(b *testing.B) {
+	gt := experiments.FlashCrowdTrace(experiments.ScaleParams{})
+	cfg := opsim.Config{
+		Sim: sim.Config{
+			Method: sim.MethodTRMetis, K: 2,
+			Window:            4 * time.Hour,
+			RepartitionEvery:  2 * 24 * time.Hour,
+			MinRepartitionGap: 8 * time.Hour,
+			TriggerWindows:    2,
+			DecayHalfLife:     12 * time.Hour,
+			Horizon:           36 * time.Hour,
+			Autoscale: sim.AutoscaleConfig{
+				Enabled: true, KMin: 2, KMax: 8, TargetWindowLoad: 100,
+			},
+		},
+		Model: shardchain.ModelReceipts,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *opsim.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = opsim.Run(gt, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	resizes := len(res.Sim.Resizes)
+	if resizes == 0 {
+		b.Fatal("autoscaler never fired on the flash-crowd trace")
+	}
+	b.ReportMetric(float64(resizes), "resizes")
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N)/float64(resizes), "ms/resize")
+	var shardWindows int64
+	for _, w := range res.Windows {
+		shardWindows += int64(w.Shards)
+	}
+	b.ReportMetric(float64(shardWindows), "shard-windows")
 }
 
 // benchDirectory builds a directory holding n hot entries (plus a retired

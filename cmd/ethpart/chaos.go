@@ -154,22 +154,27 @@ func chaosScenarios(sel string, seed, blocks uint64, k int) ([]chaosScenario, er
 	all := []chaosScenario{
 		{"crash-wave", fault.Schedule{
 			Seed:    seed,
+			Shards:  k,
 			Crashes: fault.PeriodicCrashes(5, blocks, k),
 		}},
 		{"receipt-loss", fault.Schedule{
 			Seed:     seed,
+			Shards:   k,
 			DropProb: 0.25, DelayProb: 0.2,
 		}},
 		{"dup-storm", fault.Schedule{
 			Seed:    seed,
+			Shards:  k,
 			DupProb: 0.5, DelayProb: 0.1, ShuffleDeliveries: true,
 		}},
 		{"flip-stall", fault.Schedule{
 			Seed:             seed,
+			Shards:           k,
 			WaveStallFlushes: 40, CommitFailEvery: 3,
 		}},
 		{"mixed", fault.Schedule{
 			Seed:     seed,
+			Shards:   k,
 			Crashes:  fault.PeriodicCrashes(7, blocks, k),
 			DropProb: 0.15, DelayProb: 0.1, DupProb: 0.2,
 			ShuffleDeliveries: true,

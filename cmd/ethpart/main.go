@@ -8,6 +8,7 @@
 //	        [-decay-half-life 168h] [-horizon 672h]
 //	ethpart ops [-seed 1] [-scale 0.002] [-k 2] [-csv] [-parallel]
 //	        [-decay-half-life 168h] [-horizon 672h]
+//	        [-autoscale [-k-min 1] [-k-max 8] [-target-load 1024]]
 //	ethpart bench-dir [-readers 1,2,4] [-duration 1s] [-method tr-metis]
 //	        [-eras 12] [-decay-half-life 12h] [-csv]
 //	ethpart chaos [-scenario all] [-seed 1] [-k 4] [-eras 6]
@@ -26,7 +27,11 @@
 // -parallel the chain also runs on the parallel per-shard engine
 // (byte-identical results) and the table reports its per-block speedup.
 // Homes are resolved through the concurrent placement directory
-// (internal/directory), the same serving path bench-dir loads.
+// (internal/directory), the same serving path bench-dir loads. With
+// -autoscale the shard count becomes a control variable: the saturation
+// controller splits and merges shards at window boundaries between -k-min
+// and -k-max, and the report gains shards-provisioned-over-time (shrd-win,
+// and a per-window shards column in -csv) beside the resize count.
 //
 // The bench-dir subcommand is the serving-path load driver: it captures a
 // drifting-era trace's placement/repartition/retirement schedule, then

@@ -101,11 +101,20 @@ func TestOpsCSVGuardsEmptySettlement(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("lines = %d, want header + 2 windows:\n%s", len(lines), out)
 	}
-	if fields := strings.Split(lines[1], ","); fields[7] != "" {
-		t.Errorf("empty-settlement cell = %q, want empty", fields[7])
+	col := -1
+	for i, h := range strings.Split(lines[0], ",") {
+		if h == "mean_settlement_blocks" {
+			col = i
+		}
 	}
-	if fields := strings.Split(lines[2], ","); fields[7] != "1.500" {
-		t.Errorf("settlement cell = %q, want 1.500", fields[7])
+	if col < 0 {
+		t.Fatalf("no mean_settlement_blocks column in header:\n%s", lines[0])
+	}
+	if fields := strings.Split(lines[1], ","); fields[col] != "" {
+		t.Errorf("empty-settlement cell = %q, want empty", fields[col])
+	}
+	if fields := strings.Split(lines[2], ","); fields[col] != "1.500" {
+		t.Errorf("settlement cell = %q, want 1.500", fields[col])
 	}
 }
 

@@ -31,6 +31,10 @@ func runOps(args []string) error {
 	parallel := fs.Bool("parallel", false, "also run the parallel per-shard engine and report its per-block speedup")
 	decay := fs.Duration("decay-half-life", 0, "enable windowed graph decay with this half-life (0 = full history)")
 	horizon := fs.Duration("horizon", 0, "decay retention horizon (0 = 4x the half-life)")
+	autoscale := fs.Bool("autoscale", false, "let the saturation controller resize the shard count at window boundaries")
+	kmin := fs.Int("k-min", 0, "autoscaler floor (0 = 1)")
+	kmax := fs.Int("k-max", 0, "autoscaler ceiling (0 = 4x k)")
+	targetLoad := fs.Int64("target-load", 0, "autoscaler per-shard window-load target (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,6 +43,23 @@ func runOps(args []string) error {
 	}
 	if *k < 1 {
 		return fmt.Errorf("ops: k must be >= 1, got %d", *k)
+	}
+	var ac sim.AutoscaleConfig
+	if *autoscale {
+		ac = sim.AutoscaleConfig{
+			Enabled:          true,
+			KMin:             *kmin,
+			KMax:             *kmax,
+			TargetWindowLoad: *targetLoad,
+		}
+		if ac.KMin > 0 && ac.KMin > *k {
+			return fmt.Errorf("ops: -k-min %d exceeds -k %d", ac.KMin, *k)
+		}
+		if ac.KMax > 0 && ac.KMax < *k {
+			return fmt.Errorf("ops: -k-max %d is below -k %d", ac.KMax, *k)
+		}
+	} else if *kmin != 0 || *kmax != 0 || *targetLoad != 0 {
+		return fmt.Errorf("ops: -k-min/-k-max/-target-load require -autoscale")
 	}
 
 	start := time.Now()
@@ -50,6 +71,7 @@ func runOps(args []string) error {
 		RepartitionEvery: *repartition,
 		DecayHalfLife:    *decay,
 		Horizon:          *horizon,
+		Autoscale:        ac,
 	})
 	if err != nil {
 		return err
@@ -94,6 +116,12 @@ func opsTable(w io.Writer, rows, prows []experiments.OperationalRow) error {
 		if res.Totals.ReceiptsSettled > 0 {
 			latency = fmt.Sprintf("%.2f", res.MeanSettlement())
 		}
+		// Shard-windows provisioned over the run — with the autoscaler this
+		// is the capacity-cost series summed; without it, windows × k.
+		var shardWindows int64
+		for _, win := range res.Windows {
+			shardWindows += int64(win.Shards)
+		}
 		cols := []string{
 			row.Method.String(),
 			row.Model.String(),
@@ -104,6 +132,8 @@ func opsTable(w io.Writer, rows, prows []experiments.OperationalRow) error {
 			report.FormatCount(res.Totals.Migrations),
 			report.FormatCount(res.Totals.MigratedSlots),
 			report.FormatCount(res.Totals.Failed),
+			report.FormatCount(shardWindows),
+			strconv.Itoa(len(res.Sim.Resizes)),
 		}
 		cols = append(cols, fmt.Sprintf("%.3f", res.MsPerBlock()))
 		if prows != nil {
@@ -118,7 +148,7 @@ func opsTable(w io.Writer, rows, prows []experiments.OperationalRow) error {
 	}
 	headers := []string{
 		"method", "model", "dyn-cut", "cross-txs", "messages", "latency(blk)",
-		"migrations", "slots", "failed", "ms/blk",
+		"migrations", "slots", "failed", "shrd-win", "resizes", "ms/blk",
 	}
 	if prows != nil {
 		headers = append(headers, "par-ms/blk", "speedup")
@@ -136,8 +166,8 @@ func opsTable(w io.Writer, rows, prows []experiments.OperationalRow) error {
 // sweep time and every recount skipped.
 func opsCSV(w io.Writer, rows []experiments.OperationalRow) error {
 	headers := []string{
-		"method", "model", "window_start", "interactions", "cross_txs",
-		"messages", "receipts_settled", "mean_settlement_blocks",
+		"method", "model", "window_start", "shards", "interactions",
+		"cross_txs", "messages", "receipts_settled", "mean_settlement_blocks",
 		"migrations", "migrated_slots", "failed", "dynamic_cut",
 		"live_graph", "sweep_ns", "recount_skipped",
 	}
@@ -162,6 +192,7 @@ func opsCSV(w io.Writer, rows []experiments.OperationalRow) error {
 				row.Method.String(),
 				row.Model.String(),
 				win.Start.UTC().Format(time.RFC3339),
+				strconv.Itoa(win.Shards),
 				strconv.FormatInt(win.Interactions, 10),
 				strconv.FormatInt(win.CrossTxs, 10),
 				strconv.FormatInt(win.Messages, 10),

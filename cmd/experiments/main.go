@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [flags] fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|all
+//	experiments [flags] fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|scalecost|all
 //
 // Flags:
 //
@@ -45,22 +45,27 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory for CSV output (optional)")
 	method := fs.String("method", "", "fig3 method (default: hash and metis)")
 	k := fs.Int("k", 4, "shard count for the extension subcommands")
+	kmin := fs.Int("k-min", 2, "scalecost: smallest shard count (fixed baseline and autoscaler floor)")
+	kmax := fs.Int("k-max", 8, "scalecost: largest shard count (fixed baseline and autoscaler ceiling)")
 	decay := fs.Duration("decay-half-life", 0, "enable windowed graph decay with this half-life (0 = full history, as in the paper)")
 	horizon := fs.Duration("horizon", 0, "decay retention horizon (0 = 4x the half-life)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("expected one subcommand: fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|all")
+		return fmt.Errorf("expected one subcommand: fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|scalecost|all")
 	}
 	cmd := fs.Arg(0)
 
-	// shardaware and decaycost generate their own histories.
+	// shardaware, decaycost and scalecost generate their own histories.
 	if cmd == "shardaware" {
 		return shardaware(*seed, *scale, output{dir: *csvDir}, *k, *decay, *horizon)
 	}
 	if cmd == "decaycost" {
 		return decaycost(*seed, output{dir: *csvDir}, *k, *decay, *horizon)
+	}
+	if cmd == "scalecost" {
+		return scalecost(*seed, output{dir: *csvDir}, *kmin, *kmax)
 	}
 
 	fmt.Printf("generating synthetic history (seed=%d scale=%g)...\n", *seed, *scale)

@@ -72,6 +72,12 @@ type page [pageSize]int32
 // view across arbitrarily many lookups.
 type Snapshot struct {
 	epoch uint64
+	// shards is the shard count this view was published under; zero until
+	// a batch carries one. Riding inside the snapshot makes the count
+	// epoch-consistent with the placements: a reader resolving homes
+	// against a pinned view can never pair an old k with a new mapping (or
+	// vice versa), however many resizes the writer commits meanwhile.
+	shards int
 	// pages is the hot tier; nil entries are wholly unoccupied (or
 	// compacted-away) pages.
 	pages []*page
@@ -87,6 +93,11 @@ type Snapshot struct {
 // Epoch returns the snapshot's version number. Epochs start at zero (the
 // empty directory) and increase by one per commit.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Shards returns the shard count this view was published under — the
+// epoch-consistent companion of the placements, guaranteed to cover every
+// mapped shard of the view. Zero means no batch has declared one yet.
+func (s *Snapshot) Shards() int { return s.shards }
 
 // Len returns the number of mapped vertices in this view.
 func (s *Snapshot) Len() int { return s.entries }
@@ -155,12 +166,25 @@ type Move struct {
 // Set entries update the mapping wherever the vertex currently lives: a
 // new vertex joins the hot tier, an existing hot entry is overwritten in
 // place, and a cold (retired) entry is promoted back into the hot tier —
-// a repartition moving a sticky assignment re-hydrates it. Retire entries
-// spill the vertex's current hot mapping into the cold map (no-ops for
-// vertices already cold or never seen).
+// a repartition moving a sticky assignment re-hydrates it. SetCold entries
+// update the mapping *without* changing tiers: hot stays hot, cold stays
+// cold, unknown vertices join the cold tier — the shape of a merge wave
+// remapping retired sticky assignments off a decommissioned shard, which
+// must not re-hydrate dead history into the hot tier. Retire entries spill
+// the vertex's current hot mapping into the cold map (no-ops for vertices
+// already cold or never seen).
+//
+// Shards, when positive, declares the shard count the batch's mappings are
+// expressed against; it becomes the snapshot's epoch-consistent Shards().
+// Zero inherits the current count. A batch both resizing and remapping is
+// exactly one epoch flip — the directory's no-k/placement-tear guarantee —
+// and Commit rejects any batch that would publish a view with a mapping at
+// or above its own shard count.
 type Batch struct {
-	Set    []Move
-	Retire []graph.VertexID
+	Set     []Move
+	SetCold []Move
+	Retire  []graph.VertexID
+	Shards  int
 }
 
 // Config parameterises a Directory.
@@ -306,15 +330,64 @@ func (d *Directory) Commit(b Batch) (uint64, error) {
 	// mid-batch rejection after mutating d.pageLive would leave the
 	// occupancy bookkeeping out of sync with the (discarded) snapshot,
 	// silently disabling page-drop compaction for the affected pages.
+	cur := d.view.Load()
+	if b.Shards < 0 {
+		return 0, fmt.Errorf("directory: negative shard count %d", b.Shards)
+	}
+	shards := cur.shards
+	if b.Shards > 0 {
+		shards = b.Shards
+	}
 	for _, m := range b.Set {
 		if m.To < 0 {
 			return 0, fmt.Errorf("directory: set %d: negative shard %d", m.V, m.To)
 		}
+		if shards > 0 && m.To >= shards {
+			return 0, fmt.Errorf("directory: set %d: shard %d out of range [0,%d)", m.V, m.To, shards)
+		}
+	}
+	for _, m := range b.SetCold {
+		if m.To < 0 {
+			return 0, fmt.Errorf("directory: set-cold %d: negative shard %d", m.V, m.To)
+		}
+		if shards > 0 && m.To >= shards {
+			return 0, fmt.Errorf("directory: set-cold %d: shard %d out of range [0,%d)", m.V, m.To, shards)
+		}
+	}
+	if b.Shards > 0 && cur.shards > 0 && b.Shards < cur.shards {
+		// Shrinking: every existing mapping at or above the new count must
+		// be remapped below it by this very batch, or the flip would
+		// publish a k/placement tear. The scan runs against the current
+		// (immutable) view before anything mutates, so a rejection leaves
+		// the writer state untouched. Resizes are rare; O(entries) here
+		// buys an invariant every reader can rely on.
+		remap := make(map[graph.VertexID]int, len(b.Set)+len(b.SetCold))
+		for _, m := range b.Set {
+			remap[m.V] = m.To
+		}
+		for _, m := range b.SetCold {
+			remap[m.V] = m.To
+		}
+		var tearErr error
+		cur.Each(func(v graph.VertexID, shard int) bool {
+			if shard < b.Shards {
+				return true
+			}
+			if to, ok := remap[v]; !ok || to >= b.Shards {
+				tearErr = fmt.Errorf("directory: shrink to %d shards would orphan %d on shard %d",
+					b.Shards, v, shard)
+				return false
+			}
+			return true
+		})
+		if tearErr != nil {
+			return 0, tearErr
+		}
 	}
 
-	cur := d.view.Load()
 	next := &Snapshot{
 		epoch:   cur.epoch + 1,
+		shards:  shards,
 		pages:   cur.pages,
 		cold:    cur.cold,
 		hot:     cur.hot,
@@ -395,6 +468,23 @@ func (d *Directory) Commit(b Batch) (uint64, error) {
 		pg[slot] = int32(m.To)
 	}
 
+	for _, m := range b.SetCold {
+		// In-place, tier-preserving update: hot entries change under their
+		// page, everything else lands (or stays) in the cold map.
+		if m.V < hotIDLimit {
+			p := int(m.V >> pageBits)
+			if p < len(next.pages) && next.pages[p] != nil && next.pages[p][m.V&pageMask] != noShard {
+				ownPage(p)[m.V&pageMask] = int32(m.To)
+				continue
+			}
+		}
+		cold := ownCold()
+		if _, ok := cold[m.V]; !ok {
+			next.entries++
+		}
+		cold[m.V] = int32(m.To)
+	}
+
 	for _, v := range b.Retire {
 		if v >= hotIDLimit {
 			continue // already cold-resident by construction
@@ -432,6 +522,7 @@ func (d *Directory) Commit(b Batch) (uint64, error) {
 // Stats is a point-in-time summary of the directory for reporting.
 type Stats struct {
 	Epoch      uint64
+	Shards     int
 	Entries    int
 	Hot, Cold  int
 	Pages      int // allocated (non-nil) hot pages in the current view
@@ -452,7 +543,8 @@ func (d *Directory) Stats() Stats {
 		}
 	}
 	return Stats{
-		Epoch: s.epoch, Entries: s.entries, Hot: s.hot, Cold: s.entries - s.hot,
-		Pages: pages, Flips: d.flips, Retired: d.retired, Rehydrated: d.rehydrated,
+		Epoch: s.epoch, Shards: s.shards, Entries: s.entries, Hot: s.hot,
+		Cold: s.entries - s.hot, Pages: pages, Flips: d.flips,
+		Retired: d.retired, Rehydrated: d.rehydrated,
 	}
 }

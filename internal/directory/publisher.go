@@ -7,7 +7,7 @@ import (
 )
 
 // Publisher adapts a stream of placement events — the shape of the sim
-// package's OnPlace/OnMove/OnRepartition/OnRetire callbacks — into
+// package's OnPlace/OnMove/OnRepartition/OnRetire/OnResize callbacks — into
 // directory commits with the serving layer's atomicity contract:
 //
 //   - first-sight placements buffer and commit together at the next Flush
@@ -15,6 +15,9 @@ import (
 //     record's placements become visible before the chain resolves homes);
 //   - a repartition's moves buffer from OnMove and commit as ONE epoch
 //     flip when OnRepartition fires — readers never observe a torn wave;
+//   - a resize wave commits its new shard count together with every remap
+//     in the same single flip (OnResize), so no reader can pair an old k
+//     with a new placement;
 //   - retirements buffer and spill to the cold tier with the next commit
 //     (spilling only relocates an entry between tiers, it never changes a
 //     lookup's answer, so its visibility timing is free).
@@ -24,9 +27,18 @@ import (
 type Publisher struct {
 	c Committer
 
-	places  []Move
-	moves   []Move
-	retires []graph.VertexID
+	places    []Move
+	moves     []Move
+	movesCold []Move
+	retires   []graph.VertexID
+
+	// shards stamps outgoing batches; zero (never declared) inherits.
+	shards int
+	// live, when set, routes moves of non-live (retired) vertices to the
+	// batch's tier-preserving SetCold lane instead of Set, so a merge wave
+	// remapping sticky assignments off a drained shard doesn't re-hydrate
+	// dead history into the hot tier.
+	live func(graph.VertexID) bool
 }
 
 // NewPublisher returns a publisher committing through c — a Directory, or
@@ -35,13 +47,27 @@ func NewPublisher(c Committer) *Publisher {
 	return &Publisher{c: c}
 }
 
+// SetShards declares the shard count stamped on every subsequent commit.
+// Call it once at wiring time with the initial k; resize waves update it
+// through OnResize.
+func (p *Publisher) SetShards(k int) { p.shards = k }
+
+// SetLive installs the liveness test used to route wave moves between the
+// promoting Set lane (live vertices) and the tier-preserving SetCold lane
+// (retired ones). A nil func restores the default: every move promotes.
+func (p *Publisher) SetLive(fn func(graph.VertexID) bool) { p.live = fn }
+
 // OnPlace buffers a first-sight placement.
 func (p *Publisher) OnPlace(v graph.VertexID, shard int) {
 	p.places = append(p.places, Move{V: v, To: shard})
 }
 
-// OnMove buffers one move of an in-progress repartition wave.
+// OnMove buffers one move of an in-progress repartition or resize wave.
 func (p *Publisher) OnMove(v graph.VertexID, _, to int) {
+	if p.live != nil && !p.live(v) {
+		p.movesCold = append(p.movesCold, Move{V: v, To: to})
+		return
+	}
 	p.moves = append(p.moves, Move{V: v, To: to})
 }
 
@@ -54,14 +80,32 @@ func (p *Publisher) OnRetire(v graph.VertexID, _ int) {
 // retirements buffered before it) as a single epoch flip, marked as a wave
 // commit for the committer.
 func (p *Publisher) OnRepartition(moves int) error {
-	if moves != len(p.moves) {
+	if moves != len(p.moves)+len(p.movesCold) {
 		// The caller's move count and the buffered wave disagree — a
 		// mis-wired callback chain would otherwise commit torn waves
 		// silently.
 		return fmt.Errorf("directory: repartition reported %d moves but %d were observed",
-			moves, len(p.moves))
+			moves, len(p.moves)+len(p.movesCold))
 	}
 	return p.flush(true)
+}
+
+// OnResize commits a resize wave: the new shard count plus every buffered
+// remap of the wave, as exactly one epoch flip. A pure resize (no moves —
+// e.g. a split whose re-partition happened to move nothing) still flips
+// once, carrying the count alone.
+func (p *Publisher) OnResize(newK, moves int) error {
+	if newK < 1 {
+		return fmt.Errorf("directory: resize to %d shards", newK)
+	}
+	if moves != len(p.moves)+len(p.movesCold) {
+		return fmt.Errorf("directory: resize reported %d moves but %d were observed",
+			moves, len(p.moves)+len(p.movesCold))
+	}
+	p.shards = newK
+	b := p.take(newK)
+	_, err := p.c.CommitBatch(b, true)
+	return err
 }
 
 // Flush commits everything buffered as one epoch flip. A flush with
@@ -71,15 +115,24 @@ func (p *Publisher) Flush() error {
 }
 
 func (p *Publisher) flush(wave bool) error {
-	if len(p.places) == 0 && len(p.moves) == 0 && len(p.retires) == 0 {
+	if len(p.places) == 0 && len(p.moves) == 0 && len(p.movesCold) == 0 && len(p.retires) == 0 {
 		return nil
 	}
-	b := Batch{Retire: p.retires}
+	b := p.take(p.shards)
+	_, err := p.c.CommitBatch(b, wave)
+	return err
+}
+
+// take drains the buffers into one batch stamped with the given shard
+// count.
+func (p *Publisher) take(shards int) Batch {
+	b := Batch{Retire: p.retires, Shards: shards}
 	b.Set = append(b.Set, p.places...)
 	b.Set = append(b.Set, p.moves...)
-	_, err := p.c.CommitBatch(b, wave)
+	b.SetCold = append(b.SetCold, p.movesCold...)
 	p.places = p.places[:0]
 	p.moves = p.moves[:0]
+	p.movesCold = p.movesCold[:0]
 	p.retires = p.retires[:0]
-	return err
+	return b
 }

@@ -49,6 +49,10 @@ type Params struct {
 	// Horizon is the decay retention horizon (see sim.Config.Horizon);
 	// zero defaults to 4×DecayHalfLife when decay is enabled.
 	Horizon time.Duration
+	// Autoscale, when Enabled, lets every simulation resize its shard
+	// count at window boundaries (see sim.AutoscaleConfig). The zero value
+	// keeps k fixed, as in the paper.
+	Autoscale sim.AutoscaleConfig
 }
 
 func (p Params) withDefaults() Params {
@@ -134,6 +138,7 @@ func (d *Dataset) configFor(method sim.Method, k int) sim.Config {
 		RepartitionEvery: d.Params.RepartitionEvery,
 		DecayHalfLife:    d.Params.DecayHalfLife,
 		Horizon:          d.Params.Horizon,
+		Autoscale:        d.Params.Autoscale,
 	}
 }
 

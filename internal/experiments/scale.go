@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ethpart/internal/evm"
+	"ethpart/internal/graph"
+	"ethpart/internal/opsim"
+	"ethpart/internal/shardchain"
+	"ethpart/internal/sim"
+	"ethpart/internal/trace"
+	"ethpart/internal/types"
+)
+
+// This file implements the elastic-shard-count comparison (the scalecost
+// figure): what saturation-driven autoscaling buys a live sharded chain on
+// a flash-crowd history, against the two fixed provisioning policies it
+// interpolates between — always-small (cheap, but saturated during the
+// crowd) and always-large (meets the surge, but pays for idle shards the
+// rest of the time). Cost is shard-windows provisioned; the SLO side is
+// settlement latency, failures and cross-shard traffic.
+
+// ScaleParams configures the flash-crowd autoscaling comparison.
+type ScaleParams struct {
+	// Seed drives the flash-crowd trace generator.
+	Seed int64
+	// KMin/KMax bound the autoscaler and name the two fixed baselines
+	// (defaults 2 and 8).
+	KMin, KMax int
+	// Target is the autoscaler's per-shard window-load target (default
+	// 100; the default trace's quiet phase sits comfortably under it at
+	// KMin and the surge blows through it).
+	Target int64
+	// HalfLife/Horizon are the decay parameters (defaults 12h/36h).
+	HalfLife, Horizon time.Duration
+}
+
+func (p ScaleParams) withDefaults() ScaleParams {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.KMin <= 0 {
+		p.KMin = 2
+	}
+	if p.KMax <= 0 {
+		p.KMax = 8
+	}
+	if p.Target <= 0 {
+		p.Target = 100
+	}
+	if p.HalfLife <= 0 {
+		p.HalfLife = 12 * time.Hour
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 3 * p.HalfLife
+	}
+	return p
+}
+
+// ScaleCostRow is one provisioning policy run through the live chain on the
+// flash-crowd history.
+type ScaleCostRow struct {
+	// Mode names the policy: fixed-kmin, fixed-kmax, or autoscale.
+	Mode string
+	// KStart/KFinal are the shard counts entering and leaving the run;
+	// Resizes counts autoscaler firings (zero for the fixed policies).
+	KStart, KFinal int
+	Resizes        int
+	// ShardWindows is Σ over windows of the shards provisioned in that
+	// window — the run's capacity cost in shard-windows.
+	ShardWindows int64
+	// PeakWindowLoad is the largest per-shard window load any shard saw —
+	// the saturation the SLO metrics respond to.
+	PeakWindowLoad int64
+	// The SLO side: cross-shard messages, settlement latency, state
+	// migration traffic and failed transactions over the whole run.
+	Messages       int64
+	MeanSettlement float64
+	Migrations     int64
+	MigratedSlots  int64
+	Failed         int64
+	DynamicCut     float64
+}
+
+// flashCrowd sizes the trace: a small resident cohort with steady traffic,
+// then a surge cohort arriving with an order of magnitude more records per
+// block, then a cooldown in which the crowd leaves again.
+const (
+	flashBaseVertices  = 100
+	flashCrowdVertices = 400
+	flashSlotsEvery    = 10
+	flashSlots         = 4
+	flashQuietWindows  = 6
+	flashSurgeWindows  = 6
+	flashCoolWindows   = 10
+	flashQuietRecs     = 30 // per block
+	flashSurgeRecs     = 300
+)
+
+// FlashCrowdTrace builds the flash-crowd history: quiet base traffic, a
+// surge phase in which a large new cohort multiplies the record rate, and a
+// cooldown back to base load. Four-hour windows, two blocks per window,
+// deterministic in Seed. It is exported so the root benchmarks can replay
+// the same regime.
+func FlashCrowdTrace(p ScaleParams) *sim.GeneratedTrace {
+	p = p.withDefaults()
+	reg := trace.NewRegistry()
+	slots := make(map[graph.VertexID]int)
+	total := uint64(flashBaseVertices + flashCrowdVertices)
+	for i := uint64(0); i < total; i++ {
+		id := reg.ID(types.AddressFromSeq(i + 1))
+		if id%flashSlotsEvery == 0 {
+			reg.MarkContract(id)
+			slots[graph.VertexID(id)] = flashSlots
+		}
+	}
+
+	state := uint64(p.Seed)*2862933555777941757 + 3037000493
+	next := func(n uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % n
+	}
+	// pick draws one endpoint: base-cohort only in the quiet phases, and
+	// mostly crowd (with some base mixing, so the phases stay connected)
+	// during the surge.
+	pick := func(surge bool) uint64 {
+		if surge && next(10) < 8 {
+			return flashBaseVertices + next(flashCrowdVertices)
+		}
+		return next(flashBaseVertices)
+	}
+
+	const blocksPerWindow = 2
+	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	phases := []struct {
+		windows int
+		recs    int
+		surge   bool
+	}{
+		{flashQuietWindows, flashQuietRecs, false},
+		{flashSurgeWindows, flashSurgeRecs, true},
+		{flashCoolWindows, flashQuietRecs, false},
+	}
+	var recs []trace.Record
+	block := uint64(0)
+	for _, ph := range phases {
+		for w := 0; w < ph.windows; w++ {
+			for b := 0; b < blocksPerWindow; b++ {
+				block++
+				t := base + int64(block-1)*int64(4*3600/blocksPerWindow)
+				for i := 0; i < ph.recs; i++ {
+					from := pick(ph.surge)
+					to := pick(ph.surge)
+					recs = append(recs, trace.Record{
+						Block: block, Time: t, Kind: evm.KindTransaction,
+						From: from, To: to,
+						FromContract: reg.IsContract(from),
+						ToContract:   reg.IsContract(to),
+						Value:        1 + next(1000),
+					})
+				}
+			}
+		}
+	}
+	return sim.NewGeneratedTrace(recs, reg, slots)
+}
+
+// scaleConfig is one policy's co-simulation configuration on the
+// flash-crowd trace: TR-METIS with decay under the receipts model, so a
+// merge has to pay the honest decommissioning cost of force-migrating the
+// state history pinned to the drained lanes.
+func scaleConfig(p ScaleParams, k int, autoscale bool) opsim.Config {
+	cfg := opsim.Config{
+		Sim: sim.Config{
+			Method: sim.MethodTRMetis, K: k,
+			Window:            4 * time.Hour,
+			RepartitionEvery:  2 * 24 * time.Hour,
+			MinRepartitionGap: 8 * time.Hour,
+			TriggerWindows:    2,
+			DecayHalfLife:     p.HalfLife,
+			Horizon:           p.Horizon,
+		},
+		Model: shardchain.ModelReceipts,
+	}
+	if autoscale {
+		cfg.Sim.Autoscale = sim.AutoscaleConfig{
+			Enabled:          true,
+			KMin:             p.KMin,
+			KMax:             p.KMax,
+			TargetWindowLoad: p.Target,
+		}
+	}
+	return cfg
+}
+
+// ScaleOperational runs the comparison: fixed provisioning at KMin and at
+// KMax, and the autoscaler ranging between them, all on the same
+// flash-crowd history. The three co-simulations run in parallel.
+func ScaleOperational(p ScaleParams) ([]ScaleCostRow, error) {
+	p = p.withDefaults()
+	if p.KMin > p.KMax {
+		return nil, fmt.Errorf("experiments: scale: k-min %d > k-max %d", p.KMin, p.KMax)
+	}
+	gt := FlashCrowdTrace(p)
+	cells := []struct {
+		mode      string
+		k         int
+		autoscale bool
+	}{
+		{"fixed-kmin", p.KMin, false},
+		{"fixed-kmax", p.KMax, false},
+		{"autoscale", p.KMin, true},
+	}
+	results := make([]*opsim.Result, len(cells))
+	errs := make([]error, len(cells))
+	sim.RunIndexed(len(cells), func(i int) {
+		results[i], errs[i] = opsim.Run(gt, scaleConfig(p, cells[i].k, cells[i].autoscale))
+	})
+	rows := make([]ScaleCostRow, len(cells))
+	for i, c := range cells {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiments: scale ops %s: %w", c.mode, errs[i])
+		}
+		res := results[i]
+		row := ScaleCostRow{
+			Mode:           c.mode,
+			KStart:         c.k,
+			KFinal:         c.k,
+			Resizes:        len(res.Sim.Resizes),
+			Messages:       res.Totals.Messages,
+			Migrations:     res.Totals.Migrations,
+			MigratedSlots:  res.Totals.MigratedSlots,
+			Failed:         res.Totals.Failed,
+			DynamicCut:     res.Sim.OverallDynamicCut,
+			MeanSettlement: res.MeanSettlement(),
+		}
+		for _, w := range res.Windows {
+			row.ShardWindows += int64(w.Shards)
+			row.KFinal = w.Shards
+		}
+		for _, w := range res.Sim.Windows {
+			if w.PeakLoad > row.PeakWindowLoad {
+				row.PeakWindowLoad = w.PeakLoad
+			}
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}

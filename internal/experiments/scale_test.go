@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFlashCrowdTraceShape: the trace is deterministic in its seed and
+// carries the three-phase shape the autoscaler comparison depends on — a
+// surge phase an order of magnitude denser than the quiet phases around it.
+func TestFlashCrowdTraceShape(t *testing.T) {
+	a := FlashCrowdTrace(ScaleParams{Seed: 7})
+	b := FlashCrowdTrace(ScaleParams{Seed: 7})
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("same seed diverges at record %d", i)
+		}
+	}
+	c := FlashCrowdTrace(ScaleParams{Seed: 8})
+	same := len(c.Records) == len(a.Records)
+	if same {
+		diff := false
+		for i := range a.Records {
+			if a.Records[i] != c.Records[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+
+	const blocksPerWindow = 2
+	wantQuiet := flashQuietWindows * blocksPerWindow * flashQuietRecs
+	wantSurge := flashSurgeWindows * blocksPerWindow * flashSurgeRecs
+	wantCool := flashCoolWindows * blocksPerWindow * flashQuietRecs
+	if got := len(a.Records); got != wantQuiet+wantSurge+wantCool {
+		t.Errorf("trace has %d records, want %d", got, wantQuiet+wantSurge+wantCool)
+	}
+	// The surge cohort must be absent from the quiet prefix and dominant in
+	// the middle.
+	for i := 0; i < wantQuiet; i++ {
+		if a.Records[i].From >= flashBaseVertices || a.Records[i].To >= flashBaseVertices {
+			t.Fatalf("quiet-phase record %d touches the crowd cohort", i)
+		}
+	}
+	crowd := 0
+	for i := wantQuiet; i < wantQuiet+wantSurge; i++ {
+		if a.Records[i].From >= flashBaseVertices || a.Records[i].To >= flashBaseVertices {
+			crowd++
+		}
+	}
+	if frac := float64(crowd) / float64(wantSurge); frac < 0.5 {
+		t.Errorf("crowd cohort appears in only %.0f%% of surge records", 100*frac)
+	}
+}
+
+// TestScaleOperational runs the scalecost comparison end to end and pins
+// the figure's headline relationships: the fixed policies never resize and
+// bracket the autoscaler's capacity cost, and the autoscaler both splits
+// under the surge and merges in the cooldown.
+func TestScaleOperational(t *testing.T) {
+	rows, err := ScaleOperational(ScaleParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want fixed-kmin, fixed-kmax, autoscale", len(rows))
+	}
+	byMode := map[string]ScaleCostRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	kmin, kmax, auto := byMode["fixed-kmin"], byMode["fixed-kmax"], byMode["autoscale"]
+
+	for _, r := range []ScaleCostRow{kmin, kmax} {
+		if r.Resizes != 0 {
+			t.Errorf("%s resized %d times; fixed policies must not", r.Mode, r.Resizes)
+		}
+		if r.KFinal != r.KStart {
+			t.Errorf("%s ended at k=%d, started at %d", r.Mode, r.KFinal, r.KStart)
+		}
+	}
+	windows := int64(flashQuietWindows + flashSurgeWindows + flashCoolWindows)
+	if kmin.ShardWindows != 2*windows {
+		t.Errorf("fixed-kmin shard-windows = %d, want %d", kmin.ShardWindows, 2*windows)
+	}
+	if kmax.ShardWindows != 8*windows {
+		t.Errorf("fixed-kmax shard-windows = %d, want %d", kmax.ShardWindows, 8*windows)
+	}
+
+	if auto.Resizes == 0 {
+		t.Fatal("autoscale cell never resized on the flash crowd")
+	}
+	if auto.ShardWindows <= kmin.ShardWindows || auto.ShardWindows >= kmax.ShardWindows {
+		t.Errorf("autoscale capacity cost %d shard-windows not strictly between the fixed %d and %d",
+			auto.ShardWindows, kmin.ShardWindows, kmax.ShardWindows)
+	}
+	// Scaling out must relieve the saturation the small fleet suffers.
+	if auto.PeakWindowLoad >= kmin.PeakWindowLoad {
+		t.Errorf("autoscale peak load %d not below fixed-kmin's %d",
+			auto.PeakWindowLoad, kmin.PeakWindowLoad)
+	}
+	// The merge leg pays honest decommissioning cost under receipts: the
+	// fixed cells never migrate, the autoscaler does.
+	if kmin.Migrations != 0 || kmax.Migrations != 0 {
+		t.Errorf("fixed receipts cells migrated state: %d / %d", kmin.Migrations, kmax.Migrations)
+	}
+	if auto.Migrations == 0 {
+		t.Error("autoscale run recorded no merge-drain migrations")
+	}
+	for _, r := range rows {
+		if r.Failed != 0 {
+			t.Errorf("%s: %d failed txs; funded replay must validate cleanly", r.Mode, r.Failed)
+		}
+	}
+}
+
+// TestScaleOperationalValidation: inverted bounds are rejected up front.
+func TestScaleOperationalValidation(t *testing.T) {
+	if _, err := ScaleOperational(ScaleParams{KMin: 6, KMax: 3}); err == nil {
+		t.Error("KMin > KMax accepted")
+	}
+}

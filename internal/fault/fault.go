@@ -32,6 +32,14 @@ type Schedule struct {
 	// Crashes lists shard crash-stops by (block, shard).
 	Crashes []Crash
 
+	// Shards, when positive, declares the shard count the schedule was
+	// written against: New rejects crash entries naming shards outside
+	// [0, Shards), catching plans aimed at lanes that don't exist at
+	// arming time. Lanes removed *later* by a merge are a runtime
+	// condition, counted by Metrics.CrashesSkipped instead. Zero skips
+	// the compile-time check (legacy schedules that never resize).
+	Shards int
+
 	// DropProb, DelayProb and DupProb are per-delivery-attempt
 	// probabilities for losing, delaying and duplicating a receipt on
 	// the barrier exchange. DupAll forces every delivery to also
@@ -137,9 +145,16 @@ func New(s Schedule) (*Injector, error) {
 			return nil, fmt.Errorf("fault: %s %v outside [0,1]", p.name, p.v)
 		}
 	}
+	if s.Shards < 0 {
+		return nil, fmt.Errorf("fault: negative shard count %d", s.Shards)
+	}
 	for _, c := range s.Crashes {
 		if c.Shard < 0 {
 			return nil, fmt.Errorf("fault: crash at block %d names negative shard %d", c.Block, c.Shard)
+		}
+		if s.Shards > 0 && c.Shard >= s.Shards {
+			return nil, fmt.Errorf("fault: crash at block %d names shard %d, schedule declares %d shards",
+				c.Block, c.Shard, s.Shards)
 		}
 	}
 	if s.WaveStallFlushes < 0 || s.CommitFailEvery < 0 {
@@ -247,6 +262,9 @@ type Metrics struct {
 	BlocksReplayed atomic.Uint64
 	ItemsReplayed  atomic.Uint64 // transactions + receipts re-applied
 	RecoveryNanos  atomic.Uint64
+	// CrashesSkipped counts scheduled crashes aimed at lanes a merge had
+	// already decommissioned when the block arrived.
+	CrashesSkipped atomic.Uint64
 
 	// Message plane.
 	Dropped          atomic.Uint64
@@ -281,6 +299,7 @@ type MetricsSnapshot struct {
 	BlocksReplayed uint64
 	ItemsReplayed  uint64
 	RecoveryNanos  uint64
+	CrashesSkipped uint64
 
 	Dropped          uint64
 	Delayed          uint64
@@ -304,6 +323,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BlocksReplayed: m.BlocksReplayed.Load(),
 		ItemsReplayed:  m.ItemsReplayed.Load(),
 		RecoveryNanos:  m.RecoveryNanos.Load(),
+		CrashesSkipped: m.CrashesSkipped.Load(),
 
 		Dropped:          m.Dropped.Load(),
 		Delayed:          m.Delayed.Load(),

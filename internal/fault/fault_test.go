@@ -229,3 +229,23 @@ func TestMetricsMaxLag(t *testing.T) {
 }
 
 var _ = errors.Is // keep errors imported if assertions above change
+
+// TestScheduleShardsValidation is the elastic-k satellite's compile-time
+// check: a schedule that declares its shard universe rejects crash entries
+// naming shards outside it, so a fault plan written for k=8 fails fast when
+// replayed against a k=4 run instead of silently never firing.
+func TestScheduleShardsValidation(t *testing.T) {
+	if _, err := New(Schedule{Shards: 4, Crashes: []Crash{{Block: 3, Shard: 4}}}); err == nil {
+		t.Error("crash naming shard 4 accepted with Shards: 4")
+	}
+	if _, err := New(Schedule{Shards: -1}); err == nil {
+		t.Error("negative Shards accepted")
+	}
+	// In-range entries and the undeclared (Shards: 0) legacy shape pass.
+	if _, err := New(Schedule{Shards: 4, Crashes: []Crash{{Block: 3, Shard: 3}}}); err != nil {
+		t.Errorf("in-range crash rejected: %v", err)
+	}
+	if _, err := New(Schedule{Crashes: []Crash{{Block: 3, Shard: 99}}}); err != nil {
+		t.Errorf("undeclared-universe schedule rejected: %v", err)
+	}
+}

@@ -143,6 +143,10 @@ type WindowStat struct {
 	// DynamicCut is the simulator's cross-shard fraction for the same
 	// window — the abstract curve the operational numbers shadow.
 	DynamicCut float64
+	// Shards is the number of chain lanes the window was served with —
+	// constant without the autoscaler, the shards-provisioned-over-time
+	// series with it.
+	Shards int
 }
 
 // MeanSettlement returns the window's mean settlement latency in blocks
@@ -166,9 +170,11 @@ type Result struct {
 	// Replayed counts the records driven through the chain.
 	Replayed int64
 	// WaveMigrations/WaveMigratedSlots isolate the share of Totals'
-	// migration cost caused by repartition waves (applyMoves batches), as
-	// opposed to the traffic-driven sender/callee migrations the migration
-	// model performs inline. Always zero under ModelReceipts.
+	// migration cost caused by repartition waves (applyMoves batches) and
+	// merge drains, as opposed to the traffic-driven sender/callee
+	// migrations the migration model performs inline. Under ModelReceipts
+	// they are zero except for merge resizes, whose decommissioned lanes
+	// must evacuate state regardless of the multi-shard model.
 	WaveMigrations    int64
 	WaveMigratedSlots int64
 	// Sim is the lockstep simulator's result (the dynamic-cut curves).
@@ -248,11 +254,13 @@ type runner struct {
 	// pub/dir are the serving directory fed by the simulator's callbacks
 	// (ResolverDirectory only); pubErr carries a publisher failure out of
 	// the void callbacks. flaky is the fault-injecting committer wedged
-	// between them when Config.Fault is armed.
-	pub    *directory.Publisher
-	dir    *directory.Directory
-	flaky  *fault.FlakyDirectory
-	pubErr error
+	// between them when Config.Fault is armed. resizeErr likewise carries
+	// a failed resize bridge out of the void OnResize callback.
+	pub       *directory.Publisher
+	dir       *directory.Directory
+	flaky     *fault.FlakyDirectory
+	pubErr    error
+	resizeErr error
 
 	// receiptsHash accumulates the replay-order receipt hash (Capture).
 	receiptsHash types.Hash
@@ -289,6 +297,15 @@ func Run(gt *sim.GeneratedTrace, cfg Config) (*Result, error) {
 		}
 		r.pendingMoves = append(r.pendingMoves, move{v, to})
 	}
+	userResize := simCfg.OnResize
+	simCfg.OnResize = func(at time.Time, oldK, newK, moves int) {
+		if userResize != nil {
+			userResize(at, oldK, newK, moves)
+		}
+		if r.resizeErr == nil {
+			r.resizeErr = r.applyResize(oldK, newK, moves)
+		}
+	}
 	scCfg := shardchain.Config{
 		K: cfg.Sim.K, Model: cfg.Model, Chain: cfg.Chain, Parallel: cfg.Parallel,
 		Fault: cfg.Fault,
@@ -306,6 +323,11 @@ func Run(gt *sim.GeneratedTrace, cfg Config) (*Result, error) {
 			committer = r.flaky
 		}
 		r.pub = directory.NewPublisher(committer)
+		r.pub.SetShards(cfg.Sim.K)
+		// Merge waves remap retired sticky assignments too; routing those
+		// through the tier-preserving SetCold lane keeps dead history out
+		// of the directory's hot tier.
+		r.pub.SetLive(func(v graph.VertexID) bool { return r.s.Graph().HasVertex(v) })
 		userPlace := simCfg.OnPlace
 		simCfg.OnPlace = func(v graph.VertexID, shard int) {
 			if userPlace != nil {
@@ -459,9 +481,13 @@ func (r *runner) processRecord(rec trace.Record) error {
 	}
 
 	// Lockstep: the simulator sees the record first — it places first-seen
-	// vertices and may fire its repartitioning policy at a window boundary.
+	// vertices and may fire its repartitioning policy (or the autoscaler)
+	// at a window boundary.
 	if err := r.s.Process(rec); err != nil {
 		return fmt.Errorf("opsim: %w", err)
+	}
+	if r.resizeErr != nil {
+		return fmt.Errorf("opsim: applying resize: %w", r.resizeErr)
 	}
 	if r.pub != nil {
 		// Publish the record's placements (and any buffered retirements)
@@ -542,6 +568,74 @@ func (r *runner) applyMoves() error {
 	return nil
 }
 
+// applyResize bridges one autoscaler firing (sim.Config.OnResize) onto the
+// chain and directory. It runs inside the simulator's Process call, at a
+// window boundary — which always falls on a block boundary, so no
+// transactions are pending and the chain sits between Steps.
+//
+// Split: the chain grows its lanes first (they spin up empty), then the
+// directory commits the new shard count together with every wave remap as
+// ONE epoch flip, then the remaps land on the chain. Readers either see the
+// old k with old placements or the new k with new placements — never a
+// tear.
+//
+// Merge: the directory flips first (count + remaps in one commit), so every
+// later resolution already answers below newK. Then the wave's moves land;
+// under ModelReceipts Rehome refuses accounts with materialised state, so a
+// sweep force-migrates everything still homed on a dropped lane — the
+// honest decommissioning cost the receipts model defers until a lane
+// actually disappears. Settle-only blocks then drain in-flight receipts
+// (bounded by MaxSettleSteps), stalled directory waves are landed, and only
+// a fully drained lane set is removed.
+func (r *runner) applyResize(oldK, newK, moves int) error {
+	if newK > oldK {
+		if err := r.sc.AddShards(newK); err != nil {
+			return err
+		}
+		if r.pub != nil {
+			if err := r.pub.OnResize(newK, moves); err != nil {
+				return err
+			}
+		}
+		return r.applyMoves()
+	}
+	if r.pub != nil {
+		if err := r.pub.OnResize(newK, moves); err != nil {
+			return err
+		}
+	}
+	if err := r.applyMoves(); err != nil {
+		return err
+	}
+	before := r.sc.Stats()
+	for s := newK; s < oldK; s++ {
+		for _, addr := range r.sc.HomesOn(s) {
+			to, ok := r.assignOf(addr)
+			if !ok || to >= newK {
+				return fmt.Errorf("merge to k=%d: no surviving home for %v (got %d)", newK, addr, to)
+			}
+			if _, err := r.sc.MigrateAccount(addr, to); err != nil {
+				return err
+			}
+		}
+	}
+	d := statsDelta(r.sc.Stats(), before)
+	r.res.WaveMigrations += d.Migrations
+	r.res.WaveMigratedSlots += d.MigratedSlots
+	for i := 0; i < r.cfg.MaxSettleSteps && r.sc.PendingReceipts() > 0; i++ {
+		r.step(nil)
+	}
+	if r.flaky != nil {
+		// The directory must have acknowledged every stalled wave before a
+		// lane disappears; landing them here keeps the decommission safe
+		// under injected commit stalls.
+		if err := r.flaky.DrainStalls(); err != nil {
+			return err
+		}
+	}
+	return r.sc.RemoveShards(newK)
+}
+
 // materialise funds a first-seen account on its home shard and, for
 // contracts, installs the synthetic storage footprint that makes migration
 // costs visible as moved slots. Record IDs always index into the fully
@@ -612,8 +706,11 @@ func (r *runner) step(txs []*chain.Transaction) []*chain.Receipt {
 // state roots and a hash over every known account's home, in registry-ID
 // order so the digest is canonical. ReceiptsHash accumulated in step.
 func (r *runner) captureArtifacts() {
-	r.res.StateRoots = make([]types.Hash, r.cfg.Sim.K)
-	for s := 0; s < r.cfg.Sim.K; s++ {
+	// The chain's *final* lane count, not the configured initial one — the
+	// autoscaler may have moved it.
+	k := r.sc.K()
+	r.res.StateRoots = make([]types.Hash, k)
+	for s := 0; s < k; s++ {
 		r.res.StateRoots[s] = r.sc.StateOf(s).Commit()
 	}
 	homes := types.Hash{}
@@ -651,6 +748,7 @@ func (r *runner) closeWindow() {
 		Migrations:       d.Migrations,
 		MigratedSlots:    d.MigratedSlots,
 		Failed:           d.Failed,
+		Shards:           r.sc.K(),
 	})
 }
 

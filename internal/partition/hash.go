@@ -41,6 +41,19 @@ func (Hash) ShardOf(v graph.VertexID, k int) int {
 	return int(h % uint64(k))
 }
 
+// ShardOfBytes is the same 64-bit FNV-1a fold over an arbitrary byte key —
+// the one shard-hash implementation of the repo. The chain layer hashes
+// 20-byte account addresses through it (shardchain's fallback placement),
+// so the two layers' hashes can never drift; TestHashShardOfBytesMatchesFNV
+// pins both against hash/fnv.
+func (Hash) ShardOfBytes(key []byte, k int) int {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return int(h % uint64(k))
+}
+
 // Partition implements Partitioner.
 func (hp Hash) Partition(c *graph.CSR, k int) ([]int, error) {
 	if k < 1 {

@@ -143,6 +143,31 @@ func (a *Assignment) Assign(v graph.VertexID, s int) (prev int, moved bool, err 
 	return NoShard, false, nil
 }
 
+// Resize changes the shard count to k, keeping every existing assignment.
+// Growing adds empty shards at the top of the range. Shrinking requires the
+// dropped shards (index >= k) to be empty — the caller drains them first by
+// reassigning their vertices to survivors — so a resize can never silently
+// orphan an assignment onto a shard that no longer exists.
+func (a *Assignment) Resize(k int) error {
+	if k < 1 {
+		return fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	if k >= a.k {
+		a.counts = append(a.counts, make([]int, k-a.k)...)
+		a.k = k
+		return nil
+	}
+	for s := k; s < a.k; s++ {
+		if a.counts[s] != 0 {
+			return fmt.Errorf("partition: resize to k=%d would orphan %d vertices on shard %d",
+				k, a.counts[s], s)
+		}
+	}
+	a.counts = a.counts[:k]
+	a.k = k
+	return nil
+}
+
 // Each calls fn for every assigned vertex: dense IDs in ascending order,
 // then spilled IDs in unspecified order.
 func (a *Assignment) Each(fn func(v graph.VertexID, shard int) bool) {

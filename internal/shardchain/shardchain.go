@@ -54,6 +54,7 @@ import (
 	"ethpart/internal/chain"
 	"ethpart/internal/evm"
 	"ethpart/internal/fault"
+	"ethpart/internal/partition"
 	"ethpart/internal/types"
 )
 
@@ -310,6 +311,10 @@ func (sc *ShardChain) HomeOf(addr types.Address) int {
 // Stats returns the accumulated operational counters.
 func (sc *ShardChain) Stats() Stats { return sc.stats }
 
+// K returns the current number of shard lanes — Config.K until a resize
+// (AddShards/RemoveShards) moves it.
+func (sc *ShardChain) K() int { return sc.cfg.K }
+
 // StateOf exposes a shard's state for inspection.
 func (sc *ShardChain) StateOf(shard int) *chain.State { return sc.shards[shard].state }
 
@@ -318,14 +323,12 @@ func (sc *ShardChain) BalanceOf(addr types.Address) evm.Word {
 	return sc.shards[sc.HomeOf(addr)].state.GetBalance(addr)
 }
 
-// hashShard is the fallback placement.
+// hashShard is the fallback placement: the repo's one shard-hash — the
+// 64-bit FNV-1a fold of partition.Hash — over the 20 address bytes, so the
+// chain's fallback and the partition layer's hashing method can never
+// drift (TestHashShardMatchesPartition pins the delegation).
 func hashShard(addr types.Address, k int) int {
-	var h uint32 = 2166136261
-	for _, b := range addr {
-		h ^= uint32(b)
-		h *= 16777619
-	}
-	return int(h % uint32(k))
+	return partition.Hash{}.ShardOfBytes(addr[:], k)
 }
 
 // emission is one receipt headed for a destination shard.
@@ -638,6 +641,11 @@ func (sc *ShardChain) Step(txs []*chain.Transaction) []*chain.Receipt {
 		for _, s := range sc.cfg.Fault.CrashedShards(sc.clock) {
 			if s < sc.cfg.K {
 				sc.recoverShard(s, txs, receipts)
+			} else {
+				// The schedule named a lane that a merge has since
+				// decommissioned; count it instead of dropping it silently,
+				// so a mis-aimed chaos scenario is visible in the metrics.
+				sc.cfg.Fault.Metrics.CrashesSkipped.Add(1)
 			}
 		}
 	}

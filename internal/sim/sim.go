@@ -152,6 +152,12 @@ type Config struct {
 	// PlacementPenalty. The zero value (PenaltyAuto) follows the decay
 	// mode: hard cap on full history, Fennel penalty under decay.
 	Placement PlacementPenalty
+	// Autoscale arms the saturation-driven shard autoscaler (see
+	// AutoscaleConfig in autoscale.go): K becomes the *initial* shard
+	// count and the controller splits/merges within [KMin, KMax] at window
+	// boundaries. The zero value keeps K fixed for the run — byte-identical
+	// to a simulator without the subsystem.
+	Autoscale AutoscaleConfig
 
 	// OnPlace, when non-nil, fires the moment a first-seen vertex is
 	// assigned a shard (during the Process call that introduced it).
@@ -171,6 +177,13 @@ type Config struct {
 	// use it to spill the entry to a cold tier; it never fires outside
 	// decay mode.
 	OnRetire func(v graph.VertexID, shard int)
+	// OnResize, when non-nil, fires after the autoscaler completes a shard
+	// resize, with the window-boundary time, the old and new shard counts,
+	// and the number of vertices the scale wave moved. It fires after every
+	// OnMove of the wave, so an observer (see internal/opsim and
+	// directory.Publisher.OnResize) can commit the whole resize — new shard
+	// count plus remapped placements — as one atomic epoch flip.
+	OnResize func(at time.Time, oldK, newK, moves int)
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -185,14 +198,10 @@ func (c Config) withDefaults() Config {
 		c.RepartitionEvery = 14 * 24 * time.Hour
 	}
 	if c.CutThreshold <= 0 {
-		// The hashing baseline cuts (k-1)/k of the edges; a threshold a
-		// little below that fires only when the partition has degraded
-		// toward "as bad as hashing". The paper tunes thresholds so
-		// TR-METIS tracks R-METIS quality with far fewer repartitions.
-		c.CutThreshold = 0.9 * float64(c.K-1) / float64(c.K)
+		c.CutThreshold = defaultCutThreshold(c.K)
 	}
 	if c.BalanceThreshold <= 0 {
-		c.BalanceThreshold = 1.0 + 0.4*float64(c.K-1)
+		c.BalanceThreshold = defaultBalanceThreshold(c.K)
 	}
 	if c.MinRepartitionGap <= 0 {
 		c.MinRepartitionGap = 3 * 24 * time.Hour
@@ -205,7 +214,26 @@ func (c Config) withDefaults() Config {
 		// past 1/16 of its peak — effectively zero on integer weights.
 		c.Horizon = 4 * c.DecayHalfLife
 	}
+	if c.Autoscale.Enabled {
+		c.Autoscale = c.Autoscale.withDefaults(c.K, c.MinRepartitionGap)
+	}
 	return c
+}
+
+// defaultCutThreshold is the TR-METIS cut trigger derived from the shard
+// count: the hashing baseline cuts (k-1)/k of the edges, and a threshold a
+// little below that fires only when the partition has degraded toward "as
+// bad as hashing". The paper tunes thresholds so TR-METIS tracks R-METIS
+// quality with far fewer repartitions.
+func defaultCutThreshold(k int) float64 {
+	return 0.9 * float64(k-1) / float64(k)
+}
+
+// defaultBalanceThreshold is the TR-METIS balance trigger derived from the
+// shard count: Eq. 2's balance ranges over [1, k], so the tolerated
+// imbalance widens with k.
+func defaultBalanceThreshold(k int) float64 {
+	return 1.0 + 0.4*float64(k-1)
 }
 
 // WindowStat is one data point of Fig. 3: metrics for a four-hour window.
@@ -229,6 +257,13 @@ type WindowStat struct {
 	Repartitioned bool
 	// Interactions is the window's interaction count.
 	Interactions int64
+	// Shards is the shard count the window was served at — constant without
+	// the autoscaler, and the provisioned-capacity-over-time series (the
+	// cost axis of the scalecost figure) with it.
+	Shards int
+	// PeakLoad is the largest per-shard load of the window — the
+	// saturation signal the autoscaler's high-water trigger reads.
+	PeakLoad int64
 }
 
 // Result is the outcome of a simulation run.
@@ -253,6 +288,10 @@ type Result struct {
 	FinalStaticBalance float64
 	// Vertices and Edges describe the final graph.
 	Vertices, Edges int
+	// Resizes records every autoscaler firing in order; empty (nil) unless
+	// Config.Autoscale is enabled and the controller actually fired, so
+	// fixed-k results are byte-identical to a simulator without the field.
+	Resizes []ResizeEvent
 }
 
 // SweepObs is one window's decay-sweep observation — the measurement half
@@ -331,6 +370,19 @@ type Simulator struct {
 	badWindows    int
 	lastBadWindow int
 
+	// Autoscaler state (Config.Autoscale.Enabled): whether the TR-METIS
+	// trigger thresholds were defaulted from K (and so must be re-derived
+	// at the new k after a resize) rather than pinned by the caller, the
+	// hysteresis streaks, and the saturation signals of the most recently
+	// flushed window, stashed by flushWindow before it resets the
+	// accumulators the controller reads.
+	cutDefaulted, balDefaulted bool
+	hotStreak, coldStreak      int
+	lastWinMaxLoad             int64
+	lastWinSumLoad             int64
+	lastWinCut                 float64
+	lastWinInteractions        int64
+
 	// Decay mode (Config.DecayHalfLife > 0): the per-window weight
 	// multiplier, the retention horizon in windows, and whether the
 	// method needs the since-last-repartition window graph at all
@@ -356,6 +408,11 @@ type Simulator struct {
 
 // New returns a simulator for cfg.
 func New(cfg Config) (*Simulator, error) {
+	// Whether the TR-METIS thresholds were left to default must be known
+	// before withDefaults fills them: a resize re-derives defaulted
+	// thresholds at the new k but never touches caller-pinned values.
+	cutDefaulted := cfg.CutThreshold <= 0
+	balDefaulted := cfg.BalanceThreshold <= 0
 	cfg = cfg.withDefaults()
 	if cfg.Method < MethodHash || cfg.Method > MethodTRMetis {
 		return nil, fmt.Errorf("sim: invalid method %d", cfg.Method)
@@ -364,6 +421,11 @@ func New(cfg Config) (*Simulator, error) {
 		// A horizon without a half-life would be silently ignored —
 		// full-history mode with the caller believing memory is bounded.
 		return nil, fmt.Errorf("sim: Horizon is set but DecayHalfLife is not; decay needs both (or neither)")
+	}
+	if cfg.Autoscale.Enabled {
+		if err := cfg.Autoscale.validate(cfg.K); err != nil {
+			return nil, err
+		}
 	}
 	assign, err := partition.NewAssignment(cfg.K)
 	if err != nil {
@@ -380,6 +442,8 @@ func New(cfg Config) (*Simulator, error) {
 		loadScratch:  make([]int64, cfg.K),
 		winLoad:      make([]int64, cfg.K),
 		runLoad:      make([]int64, cfg.K),
+		cutDefaulted: cutDefaulted,
+		balDefaulted: balDefaulted,
 		result:       Result{Method: cfg.Method, K: cfg.K},
 	}
 	if cfg.DecayHalfLife > 0 {
@@ -429,6 +493,10 @@ func New(cfg Config) (*Simulator, error) {
 // decayEnabled reports whether windowed decay mode is on.
 func (s *Simulator) decayEnabled() bool { return s.decayFactor > 0 }
 
+// K returns the current shard count — Config.K until the autoscaler moves
+// it.
+func (s *Simulator) K() int { return s.cfg.K }
+
 // Assignment exposes the live assignment (read-only use).
 func (s *Simulator) Assignment() *partition.Assignment { return s.assign }
 
@@ -456,6 +524,12 @@ func (s *Simulator) Process(rec trace.Record) error {
 		// Decay ages the live graph before the policy looks at it, so a
 		// firing repartition sees this window's weights already decayed.
 		s.decayStep()
+		// The autoscaler runs before the repartition policy: a firing
+		// resize IS a repartition wave (it advances lastRepart), so the
+		// policy never double-fires on the same boundary.
+		if err := s.maybeResize(s.winStart); err != nil {
+			return err
+		}
 		// Threshold policy is evaluated at window boundaries; periodic
 		// policies by elapsed time.
 		if err := s.maybeRepartition(s.winStart); err != nil {
@@ -573,6 +647,7 @@ func (s *Simulator) flushWindow() {
 		MovedSlots:     s.winSlots,
 		Repartitioned:  s.winReparted,
 		Interactions:   s.winCount,
+		Shards:         s.cfg.K,
 	}
 	if s.winTotalW > 0 {
 		stat.DynamicCut = float64(s.winCutW) / float64(s.winTotalW)
@@ -580,7 +655,24 @@ func (s *Simulator) flushWindow() {
 	if s.totalEdges > 0 {
 		stat.StaticCut = float64(s.cutEdges) / float64(s.totalEdges)
 	}
+	for _, l := range s.winLoad {
+		if l > stat.PeakLoad {
+			stat.PeakLoad = l
+		}
+	}
 	s.result.Windows = append(s.result.Windows, stat)
+	if s.cfg.Autoscale.Enabled {
+		// Stash the controller's saturation signals before the reset below;
+		// the autoscaler runs at the boundary, after decay, on the window
+		// just closed.
+		s.lastWinSumLoad = 0
+		for _, l := range s.winLoad {
+			s.lastWinSumLoad += l
+		}
+		s.lastWinMaxLoad = stat.PeakLoad
+		s.lastWinCut = stat.DynamicCut
+		s.lastWinInteractions = s.winCount
+	}
 	// Pre-fill the window's sweep observation; decayStep overwrites it if
 	// a sweep actually runs (it fires right after this flush).
 	s.sweeps = append(s.sweeps, SweepObs{
