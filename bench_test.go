@@ -750,6 +750,26 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioGeneration measures the open-loop scenario pipeline
+// (arrival planning + mix emission + chain execution) on a library
+// composition with hot-population skew and contract traffic.
+func BenchmarkScenarioGeneration(b *testing.B) {
+	sc, err := workload.LookupScenario("diurnal-exchange")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Arrival.Duration = 48 * time.Hour
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(i + 1)
+		gt, err := sim.GenerateScenario(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(gt.Records)), "records")
+	}
+}
+
 // cutOf computes the weighted cut fraction of a one-shot partition.
 func cutOf(c *graph.CSR, parts []int) float64 {
 	var cut, total int64

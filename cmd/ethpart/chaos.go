@@ -13,6 +13,7 @@ import (
 	"ethpart/internal/report"
 	"ethpart/internal/shardchain"
 	"ethpart/internal/sim"
+	"ethpart/internal/workload"
 )
 
 // runChaos executes the chaos subcommand: the seeded fault-scenario
@@ -26,7 +27,10 @@ import (
 // ever be observed. It exits non-zero on any invariant violation.
 func runChaos(args []string) error {
 	fs := flag.NewFlagSet("ethpart chaos", flag.ContinueOnError)
-	scenarioFlag := fs.String("scenario", "all", "scenario: crash-wave|receipt-loss|dup-storm|flip-stall|mixed|all")
+	scenarioFlag := fs.String("scenario", "all", "fault scenario: crash-wave|receipt-loss|dup-storm|flip-stall|mixed|all")
+	workloadFlag := fs.String("workload", "", "inject faults into a named library workload scenario instead of the drifting-era trace")
+	arrival := fs.String("arrival", "", "override the workload scenario's arrival process: poisson|diurnal|flash")
+	hours := fs.Float64("hours", 0, "override the workload scenario's arrival duration (hours)")
 	seed := fs.Int64("seed", 1, "trace and fault-schedule seed")
 	k := fs.Int("k", 4, "number of shards")
 	methodFlag := fs.String("method", "tr-metis", "repartitioning method (waves feed the flip-stall scenarios)")
@@ -37,17 +41,38 @@ func runChaos(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workloadFlag == "" && (*arrival != "" || *hours != 0) {
+		return fmt.Errorf("chaos: -arrival/-hours require -workload")
+	}
 	method, err := sim.ParseMethod(*methodFlag)
 	if err != nil {
 		return err
 	}
 
-	gt := experiments.DecayTrace(experiments.DecayParams{
-		Seed: *seed, K: *k, Eras: *eras, WindowsPerEra: *windows,
-	})
+	var gt *sim.GeneratedTrace
+	if *workloadFlag != "" {
+		sc, err := workload.ResolveScenario(*workloadFlag, *arrival, *hours, *seed)
+		if err != nil {
+			return err
+		}
+		// Block the scenario at the drifting-era trace's spacing so the
+		// chaos policy parameters below (windows, repartition cadence)
+		// keep their meaning.
+		sc.BlockInterval = 2 * time.Hour
+		if gt, err = sim.GenerateScenario(sc); err != nil {
+			return err
+		}
+	} else {
+		gt = experiments.DecayTrace(experiments.DecayParams{
+			Seed: *seed, K: *k, Eras: *eras, WindowsPerEra: *windows,
+		})
+	}
 	// An upper bound on chain height: the trace's blocks plus the settle
 	// drain; crash schedules may reach into the drain.
-	traceBlocks := uint64(*eras**windows*2) + 48
+	traceBlocks := uint64(48)
+	if n := len(gt.Records); n > 0 {
+		traceBlocks += gt.Records[n-1].Block + 1
+	}
 
 	baseCfg := func() opsim.Config {
 		return opsim.Config{

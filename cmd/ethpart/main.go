@@ -4,15 +4,23 @@
 //
 // Usage:
 //
-//	ethpart -trace trace.csv -method metis -k 4 [-window 4h] [-repartition 336h]
+//	ethpart -trace trace.csv[.gz] -method metis -k 4 [-window 4h] [-repartition 336h]
 //	        [-decay-half-life 168h] [-horizon 672h]
-//	ethpart ops [-seed 1] [-scale 0.002] [-k 2] [-csv] [-parallel]
-//	        [-decay-half-life 168h] [-horizon 672h]
+//	ethpart -scenario flash-nft-mint [-arrival poisson] [-hours 48] [-seed 1] [-method metis]
+//	ethpart ops [-seed 1] [-scale 0.002] [-scenario diurnal-exchange [-arrival flash]]
+//	        [-k 2] [-csv] [-parallel] [-decay-half-life 168h] [-horizon 672h]
 //	        [-autoscale [-k-min 1] [-k-max 8] [-target-load 1024]]
 //	ethpart bench-dir [-readers 1,2,4] [-duration 1s] [-method tr-metis]
 //	        [-eras 12] [-decay-half-life 12h] [-csv]
-//	ethpart chaos [-scenario all] [-seed 1] [-k 4] [-eras 6]
-//	        [-windows-per-era 6] [-csv]
+//	ethpart chaos [-scenario all] [-workload diurnal-exchange [-arrival flash]]
+//	        [-seed 1] [-k 4] [-eras 6] [-windows-per-era 6] [-csv]
+//
+// -trace accepts gzip-compressed traces (sniffed by magic bytes, so both
+// trace.csv.gz and renamed compressed files work). -scenario replays a
+// named open-loop scenario from the workload library instead of a file;
+// tracegen -list names them. In chaos the -scenario flag keeps its
+// original meaning (the fault-scenario library), so the workload scenario
+// is selected with -workload there.
 //
 // With -decay-half-life the replay runs in windowed-decay mode: the
 // cumulative graph ages at every window boundary and entries idle past the
@@ -45,7 +53,6 @@
 package main
 
 import (
-	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -57,6 +64,7 @@ import (
 	"ethpart/internal/report"
 	"ethpart/internal/sim"
 	"ethpart/internal/trace"
+	"ethpart/internal/workload"
 )
 
 func main() {
@@ -92,7 +100,11 @@ func validateDecayFlags(decay, horizon time.Duration) error {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ethpart", flag.ContinueOnError)
-	tracePath := fs.String("trace", "", "trace CSV file (required; '-' for stdin)")
+	tracePath := fs.String("trace", "", "trace CSV file ('-' for stdin, .gz read transparently)")
+	scenario := fs.String("scenario", "", "replay a named library scenario instead of a trace file")
+	arrival := fs.String("arrival", "", "override the scenario's arrival process: poisson|diurnal|flash")
+	hours := fs.Float64("hours", 0, "override the scenario's arrival duration (hours)")
+	seed := fs.Int64("seed", 1, "scenario seed (with -scenario)")
 	methodFlag := fs.String("method", "metis", "method: hash|kl|metis|r-metis|tr-metis")
 	k := fs.Int("k", 2, "number of shards")
 	window := fs.Duration("window", 4*time.Hour, "metric window")
@@ -107,24 +119,15 @@ func run(args []string) error {
 	if err := validateDecayFlags(*decay, *horizon); err != nil {
 		return err
 	}
-	if *tracePath == "" {
-		return fmt.Errorf("-trace is required")
+	if (*tracePath == "") == (*scenario == "") {
+		return fmt.Errorf("exactly one of -trace or -scenario is required")
+	}
+	if *scenario == "" && (*arrival != "" || *hours != 0) {
+		return fmt.Errorf("-arrival/-hours require -scenario")
 	}
 	method, err := sim.ParseMethod(*methodFlag)
 	if err != nil {
 		return err
-	}
-
-	var in io.Reader
-	if *tracePath == "-" {
-		in = os.Stdin
-	} else {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = bufio.NewReaderSize(f, 1<<20)
 	}
 
 	s, err := sim.New(sim.Config{
@@ -142,32 +145,69 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	reader := trace.NewCSVReader(in)
-	var n int64
-	for {
-		rec, err := reader.Read()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		// A malformed record is confined to its line: report it and keep
-		// the tail of the dataset instead of aborting the replay.
-		var re *trace.RecordError
-		if errors.As(err, &re) {
-			fmt.Fprintln(os.Stderr, "ethpart: skipping", re)
-			continue
-		}
+	var (
+		n       int64
+		skipped int64
+	)
+	if *scenario != "" {
+		sc, err := workload.ResolveScenario(*scenario, *arrival, *hours, *seed)
 		if err != nil {
 			return err
 		}
-		if err := s.Process(rec); err != nil {
+		gen, err := workload.NewScenario(sc)
+		if err != nil {
 			return err
 		}
-		n++
+		// Stream block by block straight into the simulator: the full
+		// record slice is never materialised.
+		stream := gen.Stream()
+		for {
+			rec, err := stream.Read()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := s.Process(rec); err != nil {
+				return err
+			}
+			n++
+		}
+	} else {
+		in, err := trace.OpenFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+
+		reader := trace.NewCSVReader(in)
+		for {
+			rec, err := reader.Read()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			// A malformed record is confined to its line: report it and keep
+			// the tail of the dataset instead of aborting the replay.
+			var re *trace.RecordError
+			if errors.As(err, &re) {
+				fmt.Fprintln(os.Stderr, "ethpart: skipping", re)
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if err := s.Process(rec); err != nil {
+				return err
+			}
+			n++
+		}
+		skipped = reader.Skipped()
 	}
 	res := s.Finish()
 
 	fmt.Printf("replayed %s interactions in %v", report.FormatCount(n), time.Since(start).Round(time.Millisecond))
-	if skipped := reader.Skipped(); skipped > 0 {
+	if skipped > 0 {
 		fmt.Printf(" (%s malformed records skipped)", report.FormatCount(skipped))
 	}
 	fmt.Printf("\n\n")

@@ -23,6 +23,8 @@ func runOps(args []string) error {
 	fs := flag.NewFlagSet("ethpart ops", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "workload seed")
 	scale := fs.Float64("scale", 0.002, "workload scale")
+	scenario := fs.String("scenario", "", "replay a named library scenario instead of the era history")
+	arrival := fs.String("arrival", "", "override the scenario's arrival process: poisson|diurnal|flash")
 	k := fs.Int("k", 2, "number of shards")
 	window := fs.Duration("window", 4*time.Hour, "metric window")
 	repartition := fs.Duration("repartition", 14*24*time.Hour, "repartition period")
@@ -43,6 +45,9 @@ func runOps(args []string) error {
 	}
 	if *k < 1 {
 		return fmt.Errorf("ops: k must be >= 1, got %d", *k)
+	}
+	if *scenario == "" && *arrival != "" {
+		return fmt.Errorf("ops: -arrival requires -scenario")
 	}
 	var ac sim.AutoscaleConfig
 	if *autoscale {
@@ -66,6 +71,8 @@ func runOps(args []string) error {
 	ds, err := experiments.NewDataset(experiments.Params{
 		Seed:             *seed,
 		Scale:            *scale,
+		Scenario:         *scenario,
+		Arrival:          *arrival,
 		BlockInterval:    *blockInterval,
 		Window:           *window,
 		RepartitionEvery: *repartition,

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	experiments [flags] fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|scalecost|all
+//	experiments [flags] fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|scalecost|scenariocost|all
 //
 // Flags:
 //
 //	-seed N      history seed (default 1)
 //	-scale F     workload scale (default 0.004)
+//	-scenario S  generate the history from a named open-loop scenario
+//	             (tracegen -list names them) instead of the era schedule
+//	-arrival A   override the scenario's arrival process (poisson|diurnal|flash)
 //	-csv DIR     also write CSV files into DIR
 //	-method M    fig3 method: hash|kl|metis|r-metis|tr-metis (default both
 //	             hash and metis, as in the paper)
@@ -42,6 +45,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "history seed")
 	scale := fs.Float64("scale", 0.004, "workload scale")
+	scenario := fs.String("scenario", "", "generate the history from a named library scenario instead of the era schedule")
+	arrival := fs.String("arrival", "", "override the scenario's arrival process: poisson|diurnal|flash")
+	hours := fs.Float64("hours", 0, "scenariocost: override every scenario's arrival duration (hours)")
 	csvDir := fs.String("csv", "", "directory for CSV output (optional)")
 	method := fs.String("method", "", "fig3 method (default: hash and metis)")
 	k := fs.Int("k", 4, "shard count for the extension subcommands")
@@ -53,11 +59,12 @@ func run(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("expected one subcommand: fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|scalecost|all")
+		return fmt.Errorf("expected one subcommand: fig1|fig2|fig3|fig4|fig5|costs|shardaware|decaycost|scalecost|scenariocost|all")
 	}
 	cmd := fs.Arg(0)
 
-	// shardaware, decaycost and scalecost generate their own histories.
+	// shardaware, decaycost, scalecost and scenariocost generate their own
+	// histories.
 	if cmd == "shardaware" {
 		return shardaware(*seed, *scale, output{dir: *csvDir}, *k, *decay, *horizon)
 	}
@@ -67,11 +74,19 @@ func run(args []string) error {
 	if cmd == "scalecost" {
 		return scalecost(*seed, output{dir: *csvDir}, *kmin, *kmax)
 	}
+	if cmd == "scenariocost" {
+		return scenariocost(*seed, output{dir: *csvDir}, *k, *hours)
+	}
 
-	fmt.Printf("generating synthetic history (seed=%d scale=%g)...\n", *seed, *scale)
+	if *scenario != "" {
+		fmt.Printf("generating scenario history (scenario=%s seed=%d)...\n", *scenario, *seed)
+	} else {
+		fmt.Printf("generating synthetic history (seed=%d scale=%g)...\n", *seed, *scale)
+	}
 	start := time.Now()
 	ds, err := experiments.NewDataset(experiments.Params{
 		Seed: *seed, Scale: *scale,
+		Scenario: *scenario, Arrival: *arrival,
 		DecayHalfLife: *decay, Horizon: *horizon,
 	})
 	if err != nil {

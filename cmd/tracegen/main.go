@@ -1,16 +1,26 @@
 // Command tracegen generates a synthetic Ethereum interaction trace and
 // writes it in the study's dataset format (CSV or JSONL) — the reproduction
-// of the paper's published dataset.
+// of the paper's published dataset. Besides the era-based history it can
+// generate any composition from the named scenario library (open-loop
+// arrival × population × mix), validate scenarios without generating, and
+// describe the library.
 //
 // Usage:
 //
 //	tracegen -out trace.csv [-seed 1] [-scale 0.004] [-format csv|jsonl]
+//	tracegen -scenario flash-nft-mint -out trace.csv.gz [-hours 48]
+//	tracegen -list
+//	tracegen -describe flash-nft-mint
+//	tracegen -validate flash-nft-mint
+//
+// Output ending in .gz is gzip-compressed; every ethpart tool reads it
+// transparently.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,27 +31,74 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
-	out := fs.String("out", "", "output file (required; '-' for stdout)")
+	out := fs.String("out", "", "output file (required; '-' for stdout, .gz for gzip)")
 	seed := fs.Int64("seed", 1, "history seed")
-	scale := fs.Float64("scale", 0.004, "workload scale (1.0 ≈ the paper's full trace)")
+	scale := fs.Float64("scale", 0.004, "era workload scale (1.0 ≈ the paper's full trace)")
 	format := fs.String("format", "csv", "output format: csv or jsonl")
+	scenario := fs.String("scenario", "", "generate a named library scenario instead of the era history")
+	hours := fs.Float64("hours", 0, "override the scenario's arrival duration (hours)")
+	list := fs.Bool("list", false, "list the scenario library and exit")
+	describe := fs.String("describe", "", "describe a named scenario and exit")
+	validate := fs.String("validate", "", "validate a named scenario and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	switch {
+	case *list:
+		for _, sc := range workload.Scenarios() {
+			fmt.Fprintf(stdout, "%-20s %s\n", sc.Name, sc.Description)
+		}
+		return nil
+	case *describe != "":
+		sc, err := workload.LookupScenario(*describe)
+		if err != nil {
+			return err
+		}
+		describeScenario(stdout, sc)
+		return nil
+	case *validate != "":
+		sc, err := workload.LookupScenario(*validate)
+		if err != nil {
+			return err
+		}
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: ok\n", sc.Name)
+		return nil
+	}
+
 	if *out == "" {
 		return fmt.Errorf("-out is required")
 	}
 
 	start := time.Now()
-	gt, err := sim.Generate(workload.Config{Seed: *seed, Scale: *scale})
+	var (
+		gt  *sim.GeneratedTrace
+		err error
+	)
+	if *scenario != "" {
+		sc, lerr := workload.LookupScenario(*scenario)
+		if lerr != nil {
+			return lerr
+		}
+		sc.Seed = *seed
+		if *hours > 0 {
+			sc.Arrival.Duration = time.Duration(*hours * float64(time.Hour))
+		}
+		gt, err = sim.GenerateScenario(sc)
+	} else {
+		gt, err = sim.Generate(workload.Config{Seed: *seed, Scale: *scale})
+	}
 	if err != nil {
 		return err
 	}
@@ -50,35 +107,69 @@ func run(args []string) error {
 		report.FormatCount(int64(gt.Registry.Len())),
 		time.Since(start).Round(time.Millisecond))
 
-	var w *os.File
-	if *out == "-" {
-		w = os.Stdout
-	} else {
-		w, err = os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer w.Close()
+	w, err := trace.CreateFile(*out)
+	if err != nil {
+		return err
 	}
-	bw := bufio.NewWriterSize(w, 1<<20)
-
 	switch *format {
 	case "csv":
-		cw := trace.NewCSVWriter(bw)
+		cw := trace.NewCSVWriter(w)
 		for _, rec := range gt.Records {
 			if err := cw.Write(rec); err != nil {
+				w.Close()
 				return err
 			}
 		}
 		if err := cw.Flush(); err != nil {
+			w.Close()
 			return err
 		}
 	case "jsonl":
-		if err := trace.WriteJSONL(bw, gt.Records); err != nil {
+		if err := trace.WriteJSONL(w, gt.Records); err != nil {
+			w.Close()
 			return err
 		}
 	default:
+		w.Close()
 		return fmt.Errorf("unknown format %q", *format)
 	}
-	return bw.Flush()
+	return w.Close()
+}
+
+// describeScenario prints the full composition of one scenario.
+func describeScenario(w io.Writer, sc workload.Scenario) {
+	fmt.Fprintf(w, "%s — %s\n", sc.Name, sc.Description)
+	a := sc.Arrival
+	fmt.Fprintf(w, "  arrival:    %s, %.0f/h base", a.Kind, a.RatePerHour)
+	switch a.Kind {
+	case workload.ArrivalDiurnal:
+		fmt.Fprintf(w, ", amplitude %.2f, period %v", a.Amplitude, a.Period)
+	case workload.ArrivalFlash:
+		fmt.Fprintf(w, ", %.0f× spike over [%.2f, %.2f] of the run",
+			a.PeakFactor, a.PeakStart, a.PeakStart+a.PeakWidth)
+	}
+	fmt.Fprintf(w, ", %v from %s\n", a.Duration, a.Start.Format("2006-01-02"))
+	p := sc.Population
+	fmt.Fprintf(w, "  population: hot-account prob %.2f, recency bias %.2f, new-account frac %.2f\n",
+		p.HotProb, p.RecencyBias, sc.NewAccountFrac)
+	m := sc.Mix
+	parts := []struct {
+		name string
+		w    float64
+	}{
+		{"transfer", m.Transfer}, {"token", m.Token}, {"wallet", m.Wallet},
+		{"crowdsale", m.Crowdsale}, {"game", m.Game}, {"airdrop", m.Airdrop},
+		{"crud", m.CRUD}, {"exchange", m.Exchange}, {"nft-mint", m.NFTMint},
+	}
+	total := 0.0
+	for _, part := range parts {
+		total += part.w
+	}
+	fmt.Fprintf(w, "  mix:       ")
+	for _, part := range parts {
+		if part.w > 0 {
+			fmt.Fprintf(w, " %s %.0f%%", part.name, 100*part.w/total)
+		}
+	}
+	fmt.Fprintln(w)
 }

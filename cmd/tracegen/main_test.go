@@ -1,35 +1,21 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"io"
-	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ethpart/internal/trace"
+	"ethpart/internal/workload"
 )
 
-func TestRunRequiresOut(t *testing.T) {
-	if err := run(nil); err == nil {
-		t.Fatal("missing -out must error")
-	}
-}
-
-func TestRunRejectsBadFormat(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "x.bin")
-	err := run([]string{"-out", out, "-scale", "0.0002", "-format", "xml"})
-	if err == nil {
-		t.Fatal("bad format must error")
-	}
-}
-
-func TestGenerateCSVTrace(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "trace.csv")
-	if err := run([]string{"-out", out, "-scale", "0.0002", "-seed", "3"}); err != nil {
-		t.Fatal(err)
-	}
-	f, err := os.Open(out)
+// countCSVRecords opens path (gzip-transparently) and counts its records.
+func countCSVRecords(t *testing.T, path string) int {
+	t.Helper()
+	f, err := trace.OpenFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +35,75 @@ func TestGenerateCSVTrace(t *testing.T) {
 		}
 		n++
 	}
-	if n < 1000 {
+	return n
+}
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil {
+		t.Fatal("missing -out must error")
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.bin")
+	err := run([]string{"-out", out, "-scale", "0.0002", "-format", "xml"}, io.Discard)
+	if err == nil {
+		t.Fatal("bad format must error")
+	}
+}
+
+func TestGenerateCSVTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-out", out, "-scale", "0.0002", "-seed", "3"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if n := countCSVRecords(t, out); n < 1000 {
 		t.Fatalf("only %d records generated", n)
+	}
+}
+
+func TestGenerateScenarioGzipTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv.gz")
+	args := []string{"-out", out, "-scenario", "transfer-steady", "-hours", "24", "-seed", "5"}
+	if err := run(args, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if n := countCSVRecords(t, out); n < 100 {
+		t.Fatalf("only %d records generated", n)
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.csv")
+	if err := run([]string{"-out", out, "-scenario", "nope"}, io.Discard); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+func TestListDescribeValidate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range workload.ScenarioNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output missing %q", name)
+		}
+	}
+	buf.Reset()
+	if err := run([]string{"-describe", "flash-nft-mint"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flash", "nft-mint", "spike"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("-describe output missing %q in:\n%s", want, buf.String())
+		}
+	}
+	buf.Reset()
+	if err := run([]string{"-validate", "crud-diurnal"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ok") {
+		t.Errorf("-validate output = %q, want ok", buf.String())
 	}
 }

@@ -36,9 +36,69 @@ func (a *Account) clone() *Account {
 	return c
 }
 
-// journalEntry records how to undo one state mutation.
+// journalKind tags what a journal entry undoes.
+type journalKind uint8
+
+const (
+	journalAccountCreated journalKind = iota
+	journalBalance
+	journalNonce
+	journalCode
+	journalStorage
+	journalAccountDeleted
+)
+
+// journalEntry records how to undo one state mutation. It is a tagged
+// value rather than a closure: the journal is the hottest allocation site
+// of transaction execution, and a value entry in a reused slice costs no
+// heap allocation per mutation where a closure costs one.
 type journalEntry struct {
-	apply func(*State)
+	kind journalKind
+	addr types.Address
+	// prevWord is the previous balance (journalBalance) or storage value
+	// (journalStorage); key is the storage key.
+	prevWord evm.Word
+	key      evm.Word
+	// existed reports whether the storage slot existed before the write.
+	existed   bool
+	prevNonce uint64
+	prevCode  []byte
+	prevAcc   *Account
+}
+
+// revert undoes one journaled mutation.
+func (e *journalEntry) revert(s *State) {
+	switch e.kind {
+	case journalAccountCreated:
+		delete(s.accounts, e.addr)
+	case journalBalance:
+		if a, ok := s.accounts[e.addr]; ok {
+			a.Balance = e.prevWord
+		}
+	case journalNonce:
+		if a, ok := s.accounts[e.addr]; ok {
+			a.Nonce = e.prevNonce
+		}
+	case journalCode:
+		if a, ok := s.accounts[e.addr]; ok {
+			a.Code = e.prevCode
+		}
+	case journalStorage:
+		a, ok := s.accounts[e.addr]
+		if !ok {
+			return
+		}
+		if a.Storage == nil {
+			a.Storage = make(map[evm.Word]evm.Word)
+		}
+		if e.existed {
+			a.Storage[e.key] = e.prevWord
+		} else {
+			delete(a.Storage, e.key)
+		}
+	case journalAccountDeleted:
+		s.accounts[e.addr] = e.prevAcc
+	}
 }
 
 // State is the world state: a map of accounts with a mutation journal that
@@ -74,7 +134,7 @@ func (s *State) Snapshot() int { return len(s.journal) }
 // RevertToSnapshot unwinds all mutations made after snapshot id.
 func (s *State) RevertToSnapshot(id int) {
 	for i := len(s.journal) - 1; i >= id; i-- {
-		s.journal[i].apply(s)
+		s.journal[i].revert(s)
 	}
 	s.journal = s.journal[:id]
 }
@@ -90,9 +150,7 @@ func (s *State) getOrNew(addr types.Address) *Account {
 	}
 	acc := &Account{}
 	s.accounts[addr] = acc
-	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
-		delete(st.accounts, addr)
-	}})
+	s.journal = append(s.journal, journalEntry{kind: journalAccountCreated, addr: addr})
 	return acc
 }
 
@@ -118,11 +176,7 @@ func (s *State) AddBalance(addr types.Address, amount evm.Word) {
 	acc := s.getOrNew(addr)
 	prev := acc.Balance
 	acc.Balance = acc.Balance.Add(amount)
-	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
-		if a, ok := st.accounts[addr]; ok {
-			a.Balance = prev
-		}
-	}})
+	s.journal = append(s.journal, journalEntry{kind: journalBalance, addr: addr, prevWord: prev})
 }
 
 // SubBalance implements evm.StateDB.
@@ -130,11 +184,7 @@ func (s *State) SubBalance(addr types.Address, amount evm.Word) {
 	acc := s.getOrNew(addr)
 	prev := acc.Balance
 	acc.Balance = acc.Balance.Sub(amount)
-	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
-		if a, ok := st.accounts[addr]; ok {
-			a.Balance = prev
-		}
-	}})
+	s.journal = append(s.journal, journalEntry{kind: journalBalance, addr: addr, prevWord: prev})
 }
 
 // GetNonce implements evm.StateDB.
@@ -150,11 +200,7 @@ func (s *State) SetNonce(addr types.Address, nonce uint64) {
 	acc := s.getOrNew(addr)
 	prev := acc.Nonce
 	acc.Nonce = nonce
-	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
-		if a, ok := st.accounts[addr]; ok {
-			a.Nonce = prev
-		}
-	}})
+	s.journal = append(s.journal, journalEntry{kind: journalNonce, addr: addr, prevNonce: prev})
 }
 
 // GetCode implements evm.StateDB.
@@ -170,11 +216,7 @@ func (s *State) SetCode(addr types.Address, code []byte) {
 	acc := s.getOrNew(addr)
 	prev := acc.Code
 	acc.Code = code
-	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
-		if a, ok := st.accounts[addr]; ok {
-			a.Code = prev
-		}
-	}})
+	s.journal = append(s.journal, journalEntry{kind: journalCode, addr: addr, prevCode: prev})
 }
 
 // GetState implements evm.StateDB.
@@ -197,20 +239,9 @@ func (s *State) SetState(addr types.Address, key, value evm.Word) {
 	} else {
 		acc.Storage[key] = value
 	}
-	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
-		a, ok := st.accounts[addr]
-		if !ok {
-			return
-		}
-		if a.Storage == nil {
-			a.Storage = make(map[evm.Word]evm.Word)
-		}
-		if existed {
-			a.Storage[key] = prev
-		} else {
-			delete(a.Storage, key)
-		}
-	}})
+	s.journal = append(s.journal, journalEntry{
+		kind: journalStorage, addr: addr, key: key, prevWord: prev, existed: existed,
+	})
 }
 
 // DeleteAccount removes addr from the state entirely — balance, nonce,
@@ -223,9 +254,7 @@ func (s *State) DeleteAccount(addr types.Address) {
 		return
 	}
 	delete(s.accounts, addr)
-	s.journal = append(s.journal, journalEntry{apply: func(st *State) {
-		st.accounts[addr] = acc
-	}})
+	s.journal = append(s.journal, journalEntry{kind: journalAccountDeleted, addr: addr, prevAcc: acc})
 }
 
 // StorageSize implements evm.StateDB.

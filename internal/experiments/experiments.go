@@ -38,6 +38,13 @@ type Params struct {
 	BlockInterval time.Duration
 	// Eras overrides the history schedule (default workload.DefaultEras).
 	Eras []workload.Era
+	// Scenario, when non-empty, generates the history from the named
+	// open-loop scenario library composition instead of the era schedule;
+	// Scale and Eras are ignored. Seed overrides the scenario's seed.
+	Scenario string
+	// Arrival optionally overrides the scenario's arrival process kind
+	// (poisson|diurnal|flash); only meaningful with Scenario.
+	Arrival string
 	// Window is the metric window (default 4h, as in the paper).
 	Window time.Duration
 	// RepartitionEvery is the periodic methods' period (default 2 weeks).
@@ -111,12 +118,26 @@ type simKey struct {
 // NewDataset generates the synthetic history for p.
 func NewDataset(p Params) (*Dataset, error) {
 	p = p.withDefaults()
-	gt, err := sim.Generate(workload.Config{
-		Seed:          p.Seed,
-		Scale:         p.Scale,
-		Eras:          p.Eras,
-		BlockInterval: p.BlockInterval,
-	})
+	var (
+		gt  *sim.GeneratedTrace
+		err error
+	)
+	if p.Scenario != "" {
+		var sc workload.Scenario
+		sc, err = workload.ResolveScenario(p.Scenario, p.Arrival, 0, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		sc.BlockInterval = p.BlockInterval
+		gt, err = sim.GenerateScenario(sc)
+	} else {
+		gt, err = sim.Generate(workload.Config{
+			Seed:          p.Seed,
+			Scale:         p.Scale,
+			Eras:          p.Eras,
+			BlockInterval: p.BlockInterval,
+		})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating dataset: %w", err)
 	}

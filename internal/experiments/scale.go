@@ -4,13 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"ethpart/internal/evm"
-	"ethpart/internal/graph"
 	"ethpart/internal/opsim"
 	"ethpart/internal/shardchain"
 	"ethpart/internal/sim"
-	"ethpart/internal/trace"
-	"ethpart/internal/types"
+	"ethpart/internal/workload"
 )
 
 // This file implements the elastic-shard-count comparison (the scalecost
@@ -83,87 +80,62 @@ type ScaleCostRow struct {
 	DynamicCut     float64
 }
 
-// flashCrowd sizes the trace: a small resident cohort with steady traffic,
-// then a surge cohort arriving with an order of magnitude more records per
-// block, then a cooldown in which the crowd leaves again.
+// flashCrowd sizes the arrival process: quiet traffic around 60 records
+// per 4-hour window, then a surge phase an order of magnitude denser, then
+// a long cooldown back to base load. The window counts size the flash
+// spike's position inside the open-loop arrival window.
 const (
-	flashBaseVertices  = 100
-	flashCrowdVertices = 400
-	flashSlotsEvery    = 10
-	flashSlots         = 4
-	flashQuietWindows  = 6
-	flashSurgeWindows  = 6
-	flashCoolWindows   = 10
-	flashQuietRecs     = 30 // per block
-	flashSurgeRecs     = 300
+	flashQuietWindows = 6
+	flashSurgeWindows = 6
+	flashCoolWindows  = 10
+	flashWindowHours  = 4
+	flashQuietRate    = 15 // arrivals per hour, quiet phases
+	flashPeakFactor   = 10 // surge multiplier
 )
 
-// FlashCrowdTrace builds the flash-crowd history: quiet base traffic, a
-// surge phase in which a large new cohort multiplies the record rate, and a
-// cooldown back to base load. Four-hour windows, two blocks per window,
-// deterministic in Seed. It is exported so the root benchmarks can replay
-// the same regime.
+// flashTotalWindows is the arrival window in 4-hour metric windows.
+const flashTotalWindows = flashQuietWindows + flashSurgeWindows + flashCoolWindows
+
+// FlashCrowdSpec is the flash-crowd composition: the library's flash
+// arrival process sized so the quiet phase sits comfortably under the
+// autoscaler's per-shard target at KMin and the surge blows through it.
+// Two blocks per 4-hour window, deterministic in Seed.
+func FlashCrowdSpec(seed int64) workload.Scenario {
+	return workload.Scenario{
+		Name:        "scalecost-flash-crowd",
+		Description: "the autoscale figure's regime: quiet boards, a 10× surge, cooldown",
+		Seed:        seed,
+		// Two blocks per 4-hour metric window, as the hand-rolled trace had.
+		BlockInterval: flashWindowHours * time.Hour / 2,
+		Arrival: workload.ArrivalSpec{
+			Kind:        workload.ArrivalFlash,
+			Start:       time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC),
+			Duration:    flashTotalWindows * flashWindowHours * time.Hour,
+			RatePerHour: flashQuietRate,
+			PeakFactor:  flashPeakFactor,
+			PeakStart:   float64(flashQuietWindows) / flashTotalWindows,
+			PeakWidth:   float64(flashSurgeWindows) / flashTotalWindows,
+		},
+		Population:     workload.PopulationSpec{HotProb: 0.4, RecencyBias: 0.8},
+		Mix:            workload.ScenarioMix{Transfer: 0.6, Token: 0.2, Game: 0.2},
+		NewAccountFrac: 0.25,
+		DeploysPerDay:  2,
+	}
+}
+
+// FlashCrowdTrace builds the flash-crowd history through the open-loop
+// workload pipeline: quiet base traffic, a surge phase in which a crowd of
+// new arrivals multiplies the record rate, and a cooldown back to base
+// load. It is exported so the root benchmarks can replay the same regime.
 func FlashCrowdTrace(p ScaleParams) *sim.GeneratedTrace {
 	p = p.withDefaults()
-	reg := trace.NewRegistry()
-	slots := make(map[graph.VertexID]int)
-	total := uint64(flashBaseVertices + flashCrowdVertices)
-	for i := uint64(0); i < total; i++ {
-		id := reg.ID(types.AddressFromSeq(i + 1))
-		if id%flashSlotsEvery == 0 {
-			reg.MarkContract(id)
-			slots[graph.VertexID(id)] = flashSlots
-		}
+	gt, err := sim.GenerateScenario(FlashCrowdSpec(p.Seed))
+	if err != nil {
+		// The spec is a fixed, validated composition; generation cannot
+		// fail on it short of a programming error.
+		panic(fmt.Sprintf("experiments: flash-crowd trace: %v", err))
 	}
-
-	state := uint64(p.Seed)*2862933555777941757 + 3037000493
-	next := func(n uint64) uint64 {
-		state = state*6364136223846793005 + 1442695040888963407
-		return (state >> 33) % n
-	}
-	// pick draws one endpoint: base-cohort only in the quiet phases, and
-	// mostly crowd (with some base mixing, so the phases stay connected)
-	// during the surge.
-	pick := func(surge bool) uint64 {
-		if surge && next(10) < 8 {
-			return flashBaseVertices + next(flashCrowdVertices)
-		}
-		return next(flashBaseVertices)
-	}
-
-	const blocksPerWindow = 2
-	base := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
-	phases := []struct {
-		windows int
-		recs    int
-		surge   bool
-	}{
-		{flashQuietWindows, flashQuietRecs, false},
-		{flashSurgeWindows, flashSurgeRecs, true},
-		{flashCoolWindows, flashQuietRecs, false},
-	}
-	var recs []trace.Record
-	block := uint64(0)
-	for _, ph := range phases {
-		for w := 0; w < ph.windows; w++ {
-			for b := 0; b < blocksPerWindow; b++ {
-				block++
-				t := base + int64(block-1)*int64(4*3600/blocksPerWindow)
-				for i := 0; i < ph.recs; i++ {
-					from := pick(ph.surge)
-					to := pick(ph.surge)
-					recs = append(recs, trace.Record{
-						Block: block, Time: t, Kind: evm.KindTransaction,
-						From: from, To: to,
-						FromContract: reg.IsContract(from),
-						ToContract:   reg.IsContract(to),
-						Value:        1 + next(1000),
-					})
-				}
-			}
-		}
-	}
-	return sim.NewGeneratedTrace(recs, reg, slots)
+	return gt
 }
 
 // scaleConfig is one policy's co-simulation configuration on the

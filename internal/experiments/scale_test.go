@@ -4,9 +4,11 @@ import (
 	"testing"
 )
 
-// TestFlashCrowdTraceShape: the trace is deterministic in its seed and
-// carries the three-phase shape the autoscaler comparison depends on — a
-// surge phase an order of magnitude denser than the quiet phases around it.
+// TestFlashCrowdTraceShape: the pipeline-generated trace is deterministic
+// in its seed and carries the three-phase shape the autoscaler comparison
+// depends on — a surge phase an order of magnitude denser than the quiet
+// phases around it, populated by a crowd of accounts the quiet prefix
+// never saw.
 func TestFlashCrowdTraceShape(t *testing.T) {
 	a := FlashCrowdTrace(ScaleParams{Seed: 7})
 	b := FlashCrowdTrace(ScaleParams{Seed: 7})
@@ -33,28 +35,44 @@ func TestFlashCrowdTraceShape(t *testing.T) {
 		}
 	}
 
-	const blocksPerWindow = 2
-	wantQuiet := flashQuietWindows * blocksPerWindow * flashQuietRecs
-	wantSurge := flashSurgeWindows * blocksPerWindow * flashSurgeRecs
-	wantCool := flashCoolWindows * blocksPerWindow * flashQuietRecs
-	if got := len(a.Records); got != wantQuiet+wantSurge+wantCool {
-		t.Errorf("trace has %d records, want %d", got, wantQuiet+wantSurge+wantCool)
-	}
-	// The surge cohort must be absent from the quiet prefix and dominant in
-	// the middle.
-	for i := 0; i < wantQuiet; i++ {
-		if a.Records[i].From >= flashBaseVertices || a.Records[i].To >= flashBaseVertices {
-			t.Fatalf("quiet-phase record %d touches the crowd cohort", i)
+	// Bucket records into the arrival process's three phases by timestamp.
+	spec := FlashCrowdSpec(7)
+	start := spec.Arrival.Start.Unix()
+	surgeFrom := start + int64(flashQuietWindows*flashWindowHours*3600)
+	surgeTo := surgeFrom + int64(flashSurgeWindows*flashWindowHours*3600)
+	var quiet, surge, cool int
+	quietSeen := map[uint64]bool{}
+	crowd := map[uint64]bool{}
+	for _, r := range a.Records {
+		switch {
+		case r.Time < surgeFrom:
+			quiet++
+			quietSeen[r.From], quietSeen[r.To] = true, true
+		case r.Time < surgeTo:
+			surge++
+			if !quietSeen[r.From] {
+				crowd[r.From] = true
+			}
+			if !quietSeen[r.To] {
+				crowd[r.To] = true
+			}
+		default:
+			cool++
 		}
 	}
-	crowd := 0
-	for i := wantQuiet; i < wantQuiet+wantSurge; i++ {
-		if a.Records[i].From >= flashBaseVertices || a.Records[i].To >= flashBaseVertices {
-			crowd++
-		}
+	if quiet == 0 || surge == 0 || cool == 0 {
+		t.Fatalf("phase empty: quiet=%d surge=%d cool=%d", quiet, surge, cool)
 	}
-	if frac := float64(crowd) / float64(wantSurge); frac < 0.5 {
-		t.Errorf("crowd cohort appears in only %.0f%% of surge records", 100*frac)
+	// The surge phase and the quiet prefix cover the same number of
+	// windows; the flash spike must make the surge several times denser.
+	if surge < 4*quiet {
+		t.Errorf("surge has %d records vs %d quiet: spike invisible", surge, quiet)
+	}
+	// The surge brings a crowd: a substantial cohort of accounts that
+	// never appeared before it (open-loop arrivals fund new accounts).
+	if len(crowd) < len(quietSeen) {
+		t.Errorf("surge introduced only %d new accounts over %d quiet-phase ones",
+			len(crowd), len(quietSeen))
 	}
 }
 
@@ -84,12 +102,12 @@ func TestScaleOperational(t *testing.T) {
 			t.Errorf("%s ended at k=%d, started at %d", r.Mode, r.KFinal, r.KStart)
 		}
 	}
-	windows := int64(flashQuietWindows + flashSurgeWindows + flashCoolWindows)
-	if kmin.ShardWindows != 2*windows {
-		t.Errorf("fixed-kmin shard-windows = %d, want %d", kmin.ShardWindows, 2*windows)
-	}
-	if kmax.ShardWindows != 8*windows {
-		t.Errorf("fixed-kmax shard-windows = %d, want %d", kmax.ShardWindows, 8*windows)
+	// Fixed cells provision k shards in every window; the exact window
+	// count belongs to the arrival process, but the two runs must agree on
+	// it (shard-windows scale with k on the same trace).
+	if kmin.ShardWindows%2 != 0 || kmax.ShardWindows != 4*kmin.ShardWindows {
+		t.Errorf("fixed shard-windows inconsistent: kmin=%d kmax=%d (want 4x)",
+			kmin.ShardWindows, kmax.ShardWindows)
 	}
 
 	if auto.Resizes == 0 {

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ethpart/internal/opsim"
+	"ethpart/internal/shardchain"
+	"ethpart/internal/sim"
+	"ethpart/internal/workload"
+)
+
+// This file implements the scenario comparison (the scenariocost figure):
+// the full method × multi-shard-model matrix replayed through the live
+// sharded chain on each named open-loop scenario. Where the paper's
+// figures ask "which method wins on the historical trace", this asks how
+// the ranking holds up across workload shapes — steady transfers, diurnal
+// exchange traffic, a flash NFT mint — on the operational metrics the
+// edge-cut curves proxy: dynamic cut, wave migrations and settlement
+// latency.
+
+// ScenarioCostParams configures the scenario × method × model matrix.
+type ScenarioCostParams struct {
+	// Seed overrides every scenario's seed (default 1).
+	Seed int64
+	// K is the shard count (default 4).
+	K int
+	// Scenarios names the library scenarios to compare (default
+	// transfer-steady, diurnal-exchange and flash-nft-mint — a steady, a
+	// periodic and a bursty arrival shape).
+	Scenarios []string
+	// Hours optionally shortens every scenario's arrival duration.
+	Hours float64
+}
+
+func (p ScenarioCostParams) withDefaults() ScenarioCostParams {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.K <= 0 {
+		p.K = 4
+	}
+	if len(p.Scenarios) == 0 {
+		p.Scenarios = []string{"transfer-steady", "diurnal-exchange", "flash-nft-mint"}
+	}
+	return p
+}
+
+// ScenarioCostRow is one cell of the matrix: a method under one
+// multi-shard model on one scenario's history.
+type ScenarioCostRow struct {
+	Scenario string
+	Method   sim.Method
+	Model    shardchain.Model
+	K        int
+	// Records is the scenario history's size (identical across the
+	// scenario's rows — methods replay the same trace).
+	Records int
+	// DynamicCut is the run-level cross-shard interaction fraction.
+	DynamicCut float64
+	// WaveMigrations/WaveSlots are what repartition waves moved; the
+	// totals below also include the migration model's inline moves.
+	WaveMigrations int64
+	WaveSlots      int64
+	Migrations     int64
+	MigratedSlots  int64
+	Messages       int64
+	// MeanSettlement is the mean cross-shard settlement latency in blocks
+	// (0 when nothing settled — the migration model forwards instead).
+	MeanSettlement float64
+	Failed         int64
+}
+
+// scenarioCostConfig is one cell's co-simulation configuration: the
+// paper's policy parameters at the scenario's block spacing.
+func scenarioCostConfig(method sim.Method, model shardchain.Model, k int) opsim.Config {
+	return opsim.Config{
+		Sim: sim.Config{
+			Method:           method,
+			K:                k,
+			Window:           4 * time.Hour,
+			RepartitionEvery: 2 * 24 * time.Hour,
+		},
+		Model: model,
+	}
+}
+
+// ScenarioCost generates each named scenario once and replays it through
+// the live sharded chain for every method under both multi-shard models.
+// Rows come back grouped by scenario, then model, then method; all
+// replays of one scenario share its trace, and the whole matrix runs in
+// parallel.
+func ScenarioCost(p ScenarioCostParams) ([]ScenarioCostRow, error) {
+	p = p.withDefaults()
+
+	traces := make([]*sim.GeneratedTrace, len(p.Scenarios))
+	for i, name := range p.Scenarios {
+		sc, err := workload.ResolveScenario(name, "", p.Hours, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenariocost: %w", err)
+		}
+		gt, err := sim.GenerateScenario(sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenariocost %s: %w", name, err)
+		}
+		traces[i] = gt
+	}
+
+	type cell struct {
+		scenario int
+		method   sim.Method
+		model    shardchain.Model
+	}
+	var cells []cell
+	for i := range p.Scenarios {
+		for _, model := range Models() {
+			for _, m := range sim.Methods() {
+				cells = append(cells, cell{i, m, model})
+			}
+		}
+	}
+	results := make([]*opsim.Result, len(cells))
+	errs := make([]error, len(cells))
+	sim.RunIndexed(len(cells), func(i int) {
+		c := cells[i]
+		results[i], errs[i] = opsim.Run(traces[c.scenario], scenarioCostConfig(c.method, c.model, p.K))
+	})
+
+	rows := make([]ScenarioCostRow, len(cells))
+	for i, c := range cells {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiments: scenariocost %s %v/%v: %w",
+				p.Scenarios[c.scenario], c.method, c.model, errs[i])
+		}
+		res := results[i]
+		rows[i] = ScenarioCostRow{
+			Scenario:       p.Scenarios[c.scenario],
+			Method:         c.method,
+			Model:          c.model,
+			K:              p.K,
+			Records:        len(traces[c.scenario].Records),
+			DynamicCut:     res.Sim.OverallDynamicCut,
+			WaveMigrations: res.WaveMigrations,
+			WaveSlots:      res.WaveMigratedSlots,
+			Migrations:     res.Totals.Migrations,
+			MigratedSlots:  res.Totals.MigratedSlots,
+			Messages:       res.Totals.Messages,
+			MeanSettlement: res.MeanSettlement(),
+			Failed:         res.Totals.Failed,
+		}
+	}
+	return rows, nil
+}

@@ -35,51 +35,71 @@ func NewGeneratedTrace(records []trace.Record, reg *trace.Registry, slots map[gr
 	return &GeneratedTrace{Records: records, Registry: reg, storageSlots: slots}
 }
 
-// Generate runs the workload generator to completion and materialises the
-// record stream. Generating once and replaying under many method
-// configurations keeps method comparisons on identical histories.
+// Generate runs the era workload composition to completion and
+// materialises the record stream. Generating once and replaying under many
+// method configurations keeps method comparisons on identical histories.
 func Generate(cfg workload.Config) (*GeneratedTrace, error) {
 	gen, err := workload.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("sim: building generator: %w", err)
 	}
-	reg := trace.NewRegistry()
-	st := gen.Chain().State()
-	isContract := func(a types.Address) bool { return len(st.GetCode(a)) > 0 }
+	return Collect(gen.Stream())
+}
 
-	var records []trace.Record
-	for {
-		block, receipts, ok, err := gen.NextBlock()
-		if err != nil {
-			return nil, fmt.Errorf("sim: generating block: %w", err)
-		}
-		if !ok {
-			break
-		}
-		if block == nil {
-			continue
-		}
-		records = append(records, trace.FromReceipts(
-			block.Header.Number, block.Header.Time, receipts, reg, isContract)...)
+// GenerateScenario runs a scenario composition to completion and
+// materialises the record stream.
+func GenerateScenario(sc workload.Scenario) (*GeneratedTrace, error) {
+	gen, err := workload.NewScenario(sc)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building scenario generator: %w", err)
 	}
+	return Collect(gen.Stream())
+}
 
-	slots := make(map[graph.VertexID]int)
-	for id := uint64(0); id < uint64(reg.Len()); id++ {
-		if !reg.IsContract(id) {
-			continue
-		}
-		if addr, ok := reg.Address(id); ok {
-			if n := st.StorageSize(addr); n > 0 {
-				slots[graph.VertexID(id)] = n
-			}
-		}
+// Collect drains a workload stream into a materialised trace (records,
+// registry, stats and final storage footprints).
+func Collect(s *workload.Stream) (*GeneratedTrace, error) {
+	records, _, err := trace.ReadAll(s) // workload streams emit no per-record errors
+	if err != nil {
+		return nil, fmt.Errorf("sim: generating block: %w", err)
 	}
 	return &GeneratedTrace{
 		Records:      records,
-		Registry:     reg,
-		Stats:        gen.Stats(),
-		storageSlots: slots,
+		Registry:     s.Registry(),
+		Stats:        s.Generator().Stats(),
+		storageSlots: s.StorageSlots(),
 	}, nil
+}
+
+// TraceFromRecords builds a replayable trace from a bare record stream
+// (e.g. a loaded trace file): vertex IDs get synthetic addresses so the
+// operational bridge can home accounts, contract vertices are marked from
+// the records' endpoint kinds, and storage footprints are unknown (zero).
+func TraceFromRecords(records []trace.Record) *GeneratedTrace {
+	maxID := uint64(0)
+	for i := range records {
+		if records[i].From > maxID {
+			maxID = records[i].From
+		}
+		if records[i].To > maxID {
+			maxID = records[i].To
+		}
+	}
+	reg := trace.NewRegistry()
+	if len(records) > 0 {
+		for id := uint64(0); id <= maxID; id++ {
+			reg.ID(types.AddressFromSeq(id + 1))
+		}
+	}
+	for i := range records {
+		if records[i].FromContract {
+			reg.MarkContract(records[i].From)
+		}
+		if records[i].ToContract {
+			reg.MarkContract(records[i].To)
+		}
+	}
+	return &GeneratedTrace{Records: records, Registry: reg}
 }
 
 // Replay runs one simulation configuration over a generated trace.

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ethpart/internal/evm"
+)
+
+// fileTestRecords is a small stream covering every field shape.
+func fileTestRecords() []Record {
+	return []Record{
+		{Block: 1, Time: 1483228800, Kind: evm.KindTransaction, From: 0, To: 1, Value: 42},
+		{Block: 1, Time: 1483228807, Kind: evm.KindCall, From: 1, To: 2, ToContract: true, Value: 0},
+		{Block: 2, Time: 1483232400, Kind: evm.KindCreate, From: 2, To: 3, FromContract: true, ToContract: true, Value: 7},
+		{Block: 3, Time: 1483236000, Kind: evm.KindTransaction, From: 3, To: 0, Value: 1 << 40},
+	}
+}
+
+func writeRecords(t *testing.T, path string) []Record {
+	t.Helper()
+	recs := fileTestRecords()
+	w, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := NewCSVWriter(w)
+	for _, rec := range recs {
+		if err := cw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func readRecords(t *testing.T, path string) []Record {
+	t.Helper()
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := NewCSVReader(f)
+	var got []Record
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	return got
+}
+
+// TestFileRoundTrip: CreateFile→OpenFile is lossless for both plain and
+// gzip-compressed names, and the .gz file really is gzip on disk.
+func TestFileRoundTrip(t *testing.T) {
+	for _, name := range []string{"trace.csv", "trace.csv.gz"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), name)
+			want := writeRecords(t, path)
+			got := readRecords(t, path)
+			if len(got) != len(want) {
+				t.Fatalf("round trip lost records: wrote %d, read %d", len(want), len(got))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("record %d: %+v round-tripped to %+v", i, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCreateFileCompresses: a .gz name produces a real gzip stream whose
+// payload is byte-identical to the uncompressed encoding.
+func TestCreateFileCompresses(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "t.csv")
+	packed := filepath.Join(dir, "t.csv.gz")
+	writeRecords(t, plain)
+	writeRecords(t, packed)
+
+	rawPlain, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawPacked, err := os.ReadFile(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rawPacked) < 2 || rawPacked[0] != 0x1f || rawPacked[1] != 0x8b {
+		t.Fatalf("%s does not start with the gzip magic", packed)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(rawPacked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpacked, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unpacked, rawPlain) {
+		t.Error("gzip payload differs from the plain encoding")
+	}
+}
+
+// TestMaybeCompressedSniffs: decompression is decided by content, not
+// name — a renamed gzip stream decodes, a plain stream passes through,
+// and an empty stream is handed back without error.
+func TestMaybeCompressedSniffs(t *testing.T) {
+	var packed bytes.Buffer
+	zw := gzip.NewWriter(&packed)
+	if _, err := zw.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := MaybeCompressed(bytes.NewReader(packed.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("sniffed gzip read %q, want hello", got)
+	}
+
+	r, err = MaybeCompressed(bytes.NewReader([]byte("plain text")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := io.ReadAll(r); string(got) != "plain text" {
+		t.Errorf("plain stream read %q", got)
+	}
+
+	r, err = MaybeCompressed(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := io.ReadAll(r); len(got) != 0 {
+		t.Errorf("empty stream read %d bytes", len(got))
+	}
+}

@@ -7,6 +7,9 @@
 package trace
 
 import (
+	"errors"
+	"io"
+
 	"ethpart/internal/chain"
 	"ethpart/internal/evm"
 	"ethpart/internal/graph"
@@ -53,6 +56,59 @@ func (r *Record) ToKind() graph.Kind {
 func (r *Record) Apply(g *graph.Graph) error {
 	return g.AddInteraction(graph.VertexID(r.From), graph.VertexID(r.To),
 		r.FromKind(), r.ToKind(), 1)
+}
+
+// RecordSource is the streaming seam between record producers — the
+// workload pipeline, trace files, converted real datasets — and every
+// consumer (replay, the operational bridge, figure generation). Read
+// returns records in arrival order and io.EOF at the end of the stream;
+// like CSVReader, a source may surface per-record *RecordError values the
+// caller can log and skip without losing the tail of the stream.
+type RecordSource interface {
+	Read() (Record, error)
+}
+
+// SliceSource adapts a materialised record slice to the RecordSource seam.
+type SliceSource struct {
+	recs []Record
+	i    int
+}
+
+// NewSliceSource returns a source streaming recs in order.
+func NewSliceSource(recs []Record) *SliceSource { return &SliceSource{recs: recs} }
+
+// Read implements RecordSource.
+func (s *SliceSource) Read() (Record, error) {
+	if s.i >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// ReadAll drains src into a slice, skipping (and counting) per-record
+// errors. Non-record failures abort.
+func ReadAll(src RecordSource) ([]Record, int64, error) {
+	var (
+		out     []Record
+		skipped int64
+	)
+	for {
+		rec, err := src.Read()
+		if errors.Is(err, io.EOF) {
+			return out, skipped, nil
+		}
+		var re *RecordError
+		if errors.As(err, &re) {
+			skipped++
+			continue
+		}
+		if err != nil {
+			return nil, skipped, err
+		}
+		out = append(out, rec)
+	}
 }
 
 // Registry assigns dense integer vertex IDs to addresses, exactly like the
@@ -117,9 +173,24 @@ func (r *Registry) Len() int { return len(r.addrs) }
 // plain accounts are account edges, as in Fig. 2).
 func FromReceipts(blockNum uint64, blockTime int64, receipts []*chain.Receipt,
 	reg *Registry, isContract func(types.Address) bool) []Record {
+	return FromReceiptsTimes(blockNum, blockTime, nil, receipts, reg, isContract)
+}
+
+// FromReceiptsTimes is FromReceipts for open-loop histories: times carries
+// one arrival timestamp per receipt (the instant the transaction's logical
+// action arrived, which the block merely batches), and every trace record
+// of receipt i is stamped with times[i] instead of the block time. A nil
+// times falls back to blockTime for every record — the closed-loop era
+// semantics, where actions arrive exactly at the block they execute in.
+func FromReceiptsTimes(blockNum uint64, blockTime int64, times []int64,
+	receipts []*chain.Receipt, reg *Registry, isContract func(types.Address) bool) []Record {
 
 	var records []Record
-	for _, receipt := range receipts {
+	for ri, receipt := range receipts {
+		recTime := blockTime
+		if times != nil {
+			recTime = times[ri]
+		}
 		for _, tr := range receipt.Traces {
 			fromID := reg.ID(tr.From)
 			toID := reg.ID(tr.To)
@@ -138,7 +209,7 @@ func FromReceipts(blockNum uint64, blockTime int64, receipts []*chain.Receipt,
 				value = ^uint64(0)
 			}
 			records = append(records, Record{
-				Block: blockNum, Time: blockTime, Kind: tr.Kind,
+				Block: blockNum, Time: recTime, Kind: tr.Kind,
 				From: fromID, To: toID,
 				FromContract: reg.IsContract(fromID),
 				ToContract:   reg.IsContract(toID),

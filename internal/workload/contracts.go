@@ -132,3 +132,52 @@ func AirdropRuntime() []byte {
 	a.Op(evm.POP).Op(evm.POP).Op(evm.STOP)
 	return a.MustBytes()
 }
+
+// CrudRuntime is a keyed store for the scenario layer's CRUD mixes
+// (blurr-style percentage workloads, SNIPPETS.md §1): calldata is
+// (op, key, value) with op 0 = write (create/update), 1 = read,
+// 2 = delete. Pure storage activity with a footprint that grows with the
+// live key count — the state-heavy dapp pattern.
+func CrudRuntime() []byte {
+	a := evm.NewAssembler()
+	a.Push(0).Op(evm.CALLDATALOAD) // [op]
+	a.Op(evm.DUP1)                 // [op, op]
+	a.Push(1).Op(evm.EQ)           // [op, op==1]
+	a.JumpITo("read")
+	a.Push(2).Op(evm.EQ) // [op==2]
+	a.JumpITo("delete")
+	// write: SSTORE(key, value)
+	a.Push(64).Op(evm.CALLDATALOAD) // [value]
+	a.Push(32).Op(evm.CALLDATALOAD) // [value, key]
+	a.Op(evm.SSTORE)
+	a.Op(evm.STOP)
+	a.Label("read") // [op]
+	a.Op(evm.POP)
+	a.Push(32).Op(evm.CALLDATALOAD)
+	a.Op(evm.SLOAD).Op(evm.POP)
+	a.Op(evm.STOP)
+	a.Label("delete") // []
+	a.Push(0)
+	a.Push(32).Op(evm.CALLDATALOAD) // [0, key]
+	a.Op(evm.SSTORE)
+	a.Op(evm.STOP)
+	return a.MustBytes()
+}
+
+// NFTRuntime is a mint-only collection: every call mints the next token to
+// the caller (bump the supply counter, record the owner) — the mint-rush
+// pattern whose storage grows one slot per interaction.
+func NFTRuntime() []byte {
+	a := evm.NewAssembler()
+	// supply = SLOAD(0) + 1; SSTORE(0, supply)
+	a.Push(0).Op(evm.SLOAD)
+	a.Push(1).Op(evm.ADD) // [supply]
+	a.Op(evm.DUP1)        // [supply, supply]
+	a.Push(0).Op(evm.SSTORE)
+	// owners[supply] = caller
+	a.Op(evm.CALLER) // [supply, caller]
+	a.Op(evm.SWAP1)  // [caller, supply]
+	a.Op(evm.SSTORE)
+	a.Op(evm.STOP)
+	return a.MustBytes()
+}

@@ -10,7 +10,12 @@ import (
 	"ethpart/internal/types"
 )
 
-// Config parameterises the synthetic-history generator.
+// Config parameterises the era-based synthetic-history generator — the
+// closed-loop reproduction of the paper's trace. Since the pipeline
+// refactor it is one composition of the three workload layers (an era
+// arrival plan, the preferential-attachment population and the era TxMix
+// scenario) and produces byte-identical histories to the pre-pipeline
+// generator.
 type Config struct {
 	// Seed makes the whole history reproducible.
 	Seed int64
@@ -76,14 +81,50 @@ func (c Config) withDefaults() Config {
 // incoming transfer — enough for many transactions at gas price 1.
 const initialFunding = 100_000_000
 
+// blockPlan is the arrival layer's output for one block: its timestamp,
+// how many logical actions arrive in it and (for open-loop compositions)
+// the arrival instant of each action. A nil times means every action
+// arrives exactly at the block timestamp — the closed-loop era semantics.
+type blockPlan struct {
+	time  time.Time
+	count int
+	era   *Era    // era composition only
+	times []int64 // per-action arrival unix seconds; nil = all at time
+	skip  bool    // schedule gap: advance time, emit no block
+}
+
+// blockPlanner is the arrival layer: it plans successive blocks. plan
+// returns ok=false when the schedule is exhausted; advance moves the
+// generator clock after a block seals.
+type blockPlanner interface {
+	plan(g *Generator) (blockPlan, bool)
+	advance(g *Generator)
+	done(g *Generator) bool
+}
+
+// emitter is the scenario layer: it fills the block being built with the
+// plan's transactions through the generator's population machinery.
+type emitter interface {
+	emit(g *Generator, plan blockPlan)
+}
+
+// composition binds the pipeline's layers for one generator. Both the
+// era Config path and every named Scenario compile to exactly one of
+// these; NextBlock is the single engine that runs them.
+type composition struct {
+	arrival  blockPlanner
+	scenario emitter
+}
+
 // Generator produces the synthetic blockchain history block by block.
 // It is not safe for concurrent use.
 type Generator struct {
-	cfg Config
-	rng *rand.Rand
-	ch  *chain.Chain
-	now time.Time
-	end time.Time
+	cfg  Config
+	comp composition
+	rng  *rand.Rand
+	ch   *chain.Chain
+	now  time.Time
+	end  time.Time
 
 	faucet  types.Address
 	miners  []types.Address
@@ -101,11 +142,27 @@ type Generator struct {
 	crowdsales []types.Address
 	attackers  []types.Address
 
+	// Scenario-composition contract registries and state.
+	cruds    []types.Address
+	nfts     []types.Address
+	exchHubs []types.Address
+	crudKeys map[types.Address]uint64 // live key count per CRUD store
+
 	// comm is non-nil when the shard-aware community workload is enabled.
 	comm *communityState
+	// pop is non-nil when a scenario's hot-account/recency population
+	// layer is enabled.
+	pop *popState
 	// deployComm, when set, pins the next deployTx's contract to a
 	// community (consumed by deployTx).
 	deployComm *int
+
+	// Block under construction: transactions and their arrival stamps,
+	// reused across blocks so the steady-state emit path does not
+	// allocate per action.
+	blockTxs    []*chain.Transaction
+	blockTimes  []int64
+	arrivalUnix int64 // arrival stamp applied by appendTx
 
 	stats Stats
 }
@@ -119,39 +176,52 @@ type Stats struct {
 	DummyAccounts int
 }
 
-// New builds a generator, its genesis chain, a starter population and the
-// initial contract set.
+// New builds an era-composition generator, its genesis chain, a starter
+// population and the initial contract set.
 func New(cfg Config) (*Generator, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Eras) == 0 {
 		return nil, fmt.Errorf("workload: empty era schedule")
 	}
-	g := &Generator{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		now:     cfg.Eras[0].Start,
-		end:     cfg.Eras[len(cfg.Eras)-1].End,
-		pending: make(map[types.Address]uint64),
-		delta:   make(map[types.Address]int64),
-	}
+	g := newSubstrate(cfg)
+	g.comp = composition{arrival: &eraPlanner{}, scenario: eraEmitter{}}
+	g.now = cfg.Eras[0].Start
+	g.end = cfg.Eras[len(cfg.Eras)-1].End
 	if cfg.Communities > 1 && cfg.CommunityLocality > 0 {
 		g.comm = newCommunityState(cfg.Communities, cfg.CommunityLocality)
 	}
+	if err := g.genesis(); err != nil {
+		return nil, err
+	}
+	// Starter population and contracts arrive in the bootstrap blocks.
+	if err := g.bootstrap(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// newSubstrate builds the shared generator machinery (rng, bookkeeping).
+func newSubstrate(cfg Config) *Generator {
+	return &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		pending: make(map[types.Address]uint64),
+		delta:   make(map[types.Address]int64),
+	}
+}
+
+// genesis mints the faucet and miners and boots the chain.
+func (g *Generator) genesis() error {
 	g.faucet = g.newAddress()
 	alloc := map[types.Address]evm.Word{
 		// Effectively inexhaustible faucet.
 		g.faucet: {0, 0, 1, 0}, // 2^128 wei
 	}
-	g.ch = chain.NewChain(*cfg.Chain, alloc)
-
+	g.ch = chain.NewChain(*g.cfg.Chain, alloc)
 	for i := 0; i < 5; i++ {
 		g.miners = append(g.miners, g.newAddress())
 	}
-	// Starter population and contracts arrive in a bootstrap block.
-	if err := g.bootstrap(); err != nil {
-		return nil, err
-	}
-	return g, nil
+	return nil
 }
 
 // Chain returns the underlying chain.
@@ -163,8 +233,14 @@ func (g *Generator) Now() time.Time { return g.now }
 // Stats returns generation counters.
 func (g *Generator) Stats() Stats { return g.stats }
 
-// Eras returns the schedule (for figure annotations).
+// Eras returns the schedule (for figure annotations); nil for scenario
+// compositions.
 func (g *Generator) Eras() []Era { return g.cfg.Eras }
+
+// BlockArrivalTimes returns the arrival stamp of each transaction in the
+// most recently sealed block, aligned with its receipts. The slice is
+// reused by the next block; callers must not retain it.
+func (g *Generator) BlockArrivalTimes() []int64 { return g.blockTimes }
 
 // newAddress mints the next deterministic address.
 func (g *Generator) newAddress() types.Address {
@@ -239,53 +315,81 @@ func (g *Generator) noteTx(tx *chain.Transaction) *chain.Transaction {
 	return tx
 }
 
+// appendTx queues tx into the block being built, stamped with the current
+// arrival instant. A nil tx is a no-op (actions whose sender needed no
+// faucet top-up pass nil for the top-up slot).
+func (g *Generator) appendTx(tx *chain.Transaction) {
+	if tx == nil {
+		return
+	}
+	g.blockTxs = append(g.blockTxs, tx)
+	g.blockTimes = append(g.blockTimes, g.arrivalUnix)
+}
+
+// beginBlock resets the per-block transaction scratch.
+func (g *Generator) beginBlock(at time.Time) {
+	g.blockTxs = g.blockTxs[:0]
+	g.blockTimes = g.blockTimes[:0]
+	g.arrivalUnix = at.Unix()
+}
+
 // bootstrap funds the first accounts and deploys the starter contract set.
 func (g *Generator) bootstrap() error {
-	var txs []*chain.Transaction
+	g.beginBlock(g.now)
 	for i := 0; i < 32; i++ {
 		a := g.newAddress()
 		g.addAccount(a)
-		txs = append(txs, g.transferTx(g.faucet, a, initialFunding))
+		g.appendTx(g.transferTx(g.faucet, a, initialFunding))
 	}
 	// Deploy two of each archetype (crowdsales need a token+owner first,
 	// so they go through deployContract on the next block).
 	for i := 0; i < 2; i++ {
-		txs = append(txs, g.deployTx(TokenRuntime(), &g.tokens))
-		txs = append(txs, g.deployTx(WalletRuntime(), &g.wallets))
+		g.appendTx(g.deployTx(TokenRuntime(), &g.tokens))
+		g.appendTx(g.deployTx(WalletRuntime(), &g.wallets))
 	}
-	txs = append(txs, g.deployTx(GameRuntime(), &g.games))
-	txs = append(txs, g.deployTx(AirdropRuntime(), &g.airdrops))
-	if err := g.seal(txs); err != nil {
+	g.appendTx(g.deployTx(GameRuntime(), &g.games))
+	g.appendTx(g.deployTx(AirdropRuntime(), &g.airdrops))
+	if _, _, err := g.seal(); err != nil {
 		return err
 	}
 	// Second bootstrap block: crowdsales referencing the tokens.
-	txs = txs[:0]
+	g.beginBlock(g.now)
 	for i := 0; i < 2; i++ {
 		owner := g.accounts[g.rng.Intn(len(g.accounts))]
 		runtime := CrowdsaleRuntime(g.tokens[i%len(g.tokens)], owner)
-		txs = append(txs, g.deployTx(runtime, &g.crowdsales))
+		g.appendTx(g.deployTx(runtime, &g.crowdsales))
 	}
-	return g.seal(txs)
+	_, _, err := g.seal()
+	return err
 }
 
-// seal builds a block from txs and advances time.
-func (g *Generator) seal(txs []*chain.Transaction) error {
+// seal builds a block from the queued transactions at the generator clock
+// and advances it one interval (the closed-loop bootstrap cadence).
+func (g *Generator) seal() (*chain.Block, []*chain.Receipt, error) {
+	block, receipts, err := g.sealAt(g.now)
+	g.now = g.now.Add(g.cfg.BlockInterval)
+	return block, receipts, err
+}
+
+// sealAt builds a block from the queued transactions with the given
+// timestamp. It does not advance the generator clock — the arrival layer
+// owns time.
+func (g *Generator) sealAt(at time.Time) (*chain.Block, []*chain.Receipt, error) {
 	miner := g.miners[g.rng.Intn(len(g.miners))]
-	_, receipts, skipped := g.ch.BuildBlock(miner, g.now.Unix(), txs)
+	block, receipts, skipped := g.ch.BuildBlock(miner, at.Unix(), g.blockTxs)
 	g.stats.Blocks++
 	g.stats.Transactions += len(receipts)
 	g.stats.Skipped += len(skipped)
 	clear(g.pending)
 	clear(g.delta)
 	g.updatePools(receipts)
-	g.now = g.now.Add(g.cfg.BlockInterval)
 	if len(skipped) > 0 {
 		// Skips indicate a generator bug (bad nonce/balance bookkeeping);
 		// surface the first one.
-		return fmt.Errorf("workload: block %d skipped %d txs: %w",
-			g.ch.Head().Header.Number, len(skipped), skipped[0])
+		return nil, nil, fmt.Errorf("workload: block %d skipped %d txs: %w",
+			block.Header.Number, len(skipped), skipped[0])
 	}
-	return nil
+	return block, receipts, nil
 }
 
 // updatePools feeds executed interactions into the preferential-attachment
@@ -309,16 +413,25 @@ func (g *Generator) updatePools(receipts []*chain.Receipt) {
 				if g.comm != nil {
 					g.comm.feedPA(g.rng, addr)
 				}
+				if g.pop != nil {
+					g.pop.note(addr)
+				}
 			}
 		}
 	}
 }
 
-// pickTarget draws an interaction target for sender: preferential
-// attachment with probability PAProb, otherwise a uniform existing account.
-// With the community workload enabled, the draw stays inside the sender's
-// community with the configured locality.
+// pickTarget draws an interaction target for sender: the population
+// layer's hot set first (scenario compositions), then preferential
+// attachment with probability PAProb, otherwise a uniform existing
+// account. With the community workload enabled, the draw stays inside the
+// sender's community with the configured locality.
 func (g *Generator) pickTarget(sender types.Address) types.Address {
+	if g.pop != nil {
+		if addr, ok := g.pop.draw(g.rng); ok {
+			return addr
+		}
+	}
 	if g.comm != nil && g.rng.Float64() < g.comm.locality {
 		comm := g.comm.community(sender)
 		if pool := g.comm.pa[comm]; len(pool) > 0 && g.rng.Float64() < g.cfg.PAProb {
@@ -336,15 +449,15 @@ func (g *Generator) pickTarget(sender types.Address) types.Address {
 
 // pickSender draws a funded sender, topping it up from the faucet when its
 // spendable balance (including this block's queued spending) runs low. The
-// returned extra transactions (if any) must precede the sender's
+// returned top-up transaction (if any) must precede the sender's
 // transaction in the block.
-func (g *Generator) pickSender(need uint64) (types.Address, []*chain.Transaction) {
+func (g *Generator) pickSender(need uint64) (types.Address, *chain.Transaction) {
 	sender := g.accounts[g.rng.Intn(len(g.accounts))]
 	if g.avail(sender) >= int64(need) {
 		return sender, nil
 	}
 	top := initialFunding + need // cover this transaction plus headroom
-	return sender, []*chain.Transaction{g.transferTx(g.faucet, sender, top)}
+	return sender, g.transferTx(g.faucet, sender, top)
 }
 
 // transferTx builds a plain value transfer.
@@ -380,63 +493,87 @@ func (g *Generator) deployTx(runtime []byte, reg *[]types.Address) *chain.Transa
 }
 
 // Done reports whether the schedule is exhausted.
-func (g *Generator) Done() bool { return !g.now.Before(g.end) }
+func (g *Generator) Done() bool { return g.comp.arrival.done(g) }
 
-// NextBlock generates and executes one block of era-appropriate
+// NextBlock generates and executes one block of composition-appropriate
 // transactions, returning the sealed block and its receipts. It returns
-// ok=false once the schedule is exhausted.
+// ok=false once the schedule is exhausted. This is the pipeline engine:
+// the arrival layer plans the block, the scenario layer emits its
+// transactions through the population machinery, and the chain substrate
+// seals it.
 func (g *Generator) NextBlock() (*chain.Block, []*chain.Receipt, bool, error) {
 	if g.Done() {
 		return nil, nil, false, nil
 	}
+	plan, ok := g.comp.arrival.plan(g)
+	if !ok {
+		return nil, nil, false, nil
+	}
+	if plan.skip {
+		// Gap in the schedule: skip forward.
+		g.comp.arrival.advance(g)
+		return nil, nil, true, nil
+	}
+	g.beginBlock(plan.time)
+	g.comp.scenario.emit(g, plan)
+	block, receipts, err := g.sealAt(plan.time)
+	g.comp.arrival.advance(g)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return block, receipts, true, nil
+}
+
+// eraPlanner is the closed-loop arrival layer of the era composition: one
+// block per BlockInterval, its action count drawn from the era's
+// interpolated daily rate.
+type eraPlanner struct{}
+
+func (eraPlanner) plan(g *Generator) (blockPlan, bool) {
 	era := eraAt(g.cfg.Eras, g.now)
 	if era == nil {
-		// Gap in the schedule: skip forward.
-		g.now = g.now.Add(g.cfg.BlockInterval)
-		return nil, nil, true, nil
+		return blockPlan{skip: true}, true
 	}
 	perBlock := era.rateAt(g.now) * g.cfg.Scale * g.cfg.BlockInterval.Seconds() / 86_400
 	count := int(perBlock)
 	if g.rng.Float64() < perBlock-float64(count) {
 		count++
 	}
+	return blockPlan{time: g.now, count: count, era: era}, true
+}
 
-	txs := make([]*chain.Transaction, 0, count+4)
+func (eraPlanner) advance(g *Generator) { g.now = g.now.Add(g.cfg.BlockInterval) }
+
+func (eraPlanner) done(g *Generator) bool { return !g.now.Before(g.end) }
+
+// eraEmitter is the era composition's scenario layer: era-paced contract
+// deployments plus the era's TxMix, exactly the paper-shaped closed-loop
+// workload.
+type eraEmitter struct{}
+
+func (eraEmitter) emit(g *Generator, plan blockPlan) {
+	era := plan.era
 	// Era-paced contract deployments.
 	perBlockDeploys := era.DeploysPerDay * g.cfg.BlockInterval.Seconds() / 86_400
 	if g.rng.Float64() < perBlockDeploys {
-		txs = append(txs, g.deployContract(era))
+		g.deployEraContract(era)
 	}
-	for i := 0; i < count; i++ {
-		txs = append(txs, g.generateTx(era)...)
+	for i := 0; i < plan.count; i++ {
+		g.eraAction(era)
 	}
-	miner := g.miners[g.rng.Intn(len(g.miners))]
-	block, receipts, skipped := g.ch.BuildBlock(miner, g.now.Unix(), txs)
-	g.stats.Blocks++
-	g.stats.Transactions += len(receipts)
-	g.stats.Skipped += len(skipped)
-	clear(g.pending)
-	clear(g.delta)
-	g.updatePools(receipts)
-	g.now = g.now.Add(g.cfg.BlockInterval)
-	if len(skipped) > 0 {
-		return nil, nil, false, fmt.Errorf("workload: block %d skipped %d txs: %w",
-			block.Header.Number, len(skipped), skipped[0])
-	}
-	return block, receipts, true, nil
 }
 
-// deployContract deploys a random archetype weighted toward the era's mix.
-func (g *Generator) deployContract(era *Era) *chain.Transaction {
+// deployEraContract deploys a random archetype weighted toward the era's mix.
+func (g *Generator) deployEraContract(era *Era) {
 	switch g.rng.Intn(5) {
 	case 0:
-		return g.deployTx(TokenRuntime(), &g.tokens)
+		g.appendTx(g.deployTx(TokenRuntime(), &g.tokens))
 	case 1:
-		return g.deployTx(WalletRuntime(), &g.wallets)
+		g.appendTx(g.deployTx(WalletRuntime(), &g.wallets))
 	case 2:
-		return g.deployTx(GameRuntime(), &g.games)
+		g.appendTx(g.deployTx(GameRuntime(), &g.games))
 	case 3:
-		return g.deployTx(AirdropRuntime(), &g.airdrops)
+		g.appendTx(g.deployTx(AirdropRuntime(), &g.airdrops))
 	default:
 		token := g.tokens[g.rng.Intn(len(g.tokens))]
 		owner := g.accounts[g.rng.Intn(len(g.accounts))]
@@ -452,49 +589,49 @@ func (g *Generator) deployContract(era *Era) *chain.Transaction {
 			}
 			g.deployComm = &comm
 		}
-		return g.deployTx(CrowdsaleRuntime(token, owner), &g.crowdsales)
+		g.appendTx(g.deployTx(CrowdsaleRuntime(token, owner), &g.crowdsales))
 	}
 }
 
-// generateTx produces one logical user action (possibly preceded by a
-// faucet top-up transaction).
-func (g *Generator) generateTx(era *Era) []*chain.Transaction {
+// eraAction emits one logical user action of the era's mix (possibly
+// preceded by a faucet top-up transaction).
+func (g *Generator) eraAction(era *Era) {
 	// Attack-era dummy account creation takes priority.
 	if era.DummyFrac > 0 && g.rng.Float64() < era.DummyFrac {
-		return g.dummyTx()
+		g.dummyAction()
+		return
 	}
 	r := g.rng.Float64()
 	m := era.Mix
 	switch {
 	case r < m.Transfer:
-		return g.userTransfer(era)
+		g.transferAction(era.NewAccountFrac)
 	case r < m.Transfer+m.Token:
-		return g.tokenTransfer()
+		g.tokenAction()
 	case r < m.Transfer+m.Token+m.Wallet:
-		return g.walletForward()
+		g.walletAction()
 	case r < m.Transfer+m.Token+m.Wallet+m.Crowdsale:
-		return g.crowdsaleBuy()
+		g.crowdsaleAction()
 	case r < m.Transfer+m.Token+m.Wallet+m.Crowdsale+m.Game:
-		return g.gameMove()
+		g.gameAction()
 	default:
-		return g.airdropBatch()
+		g.airdropAction()
 	}
 }
 
-// dummyTx mints a throwaway account from an attacker, creating a vertex
+// dummyAction mints a throwaway account from an attacker, creating a vertex
 // that is never touched again.
-func (g *Generator) dummyTx() []*chain.Transaction {
+func (g *Generator) dummyAction() {
 	if len(g.attackers) == 0 {
 		for i := 0; i < 8; i++ {
 			g.attackers = append(g.attackers, g.newAddress())
 		}
 		// Fund attackers generously in-band.
-		var txs []*chain.Transaction
 		for _, a := range g.attackers {
-			txs = append(txs, g.transferTx(g.faucet, a, 1<<40))
+			g.appendTx(g.transferTx(g.faucet, a, 1<<40))
 		}
-		txs = append(txs, g.dummyTx()...)
-		return txs
+		g.dummyAction()
+		return
 	}
 	attacker := g.attackers[g.rng.Intn(len(g.attackers))]
 	victim := g.newAddress()
@@ -502,87 +639,92 @@ func (g *Generator) dummyTx() []*chain.Transaction {
 	tx := g.transferTx(attacker, victim, 1)
 	// Attacker running dry: top up.
 	if g.avail(attacker) < 1<<20 {
-		return []*chain.Transaction{g.transferTx(g.faucet, attacker, 1<<40), tx}
+		g.appendTx(g.transferTx(g.faucet, attacker, 1<<40))
 	}
-	return []*chain.Transaction{tx}
+	g.appendTx(tx)
 }
 
-// userTransfer is a plain transfer; with era probability the recipient is a
-// brand-new account (this is how the population grows).
-func (g *Generator) userTransfer(era *Era) []*chain.Transaction {
+// transferAction is a plain transfer; with probability newFrac the
+// recipient is a brand-new account (this is how the population grows).
+func (g *Generator) transferAction(newFrac float64) {
 	value := uint64(1_000 + g.rng.Intn(100_000))
 	var to types.Address
-	newAccount := g.rng.Float64() < era.NewAccountFrac
+	newAccount := g.rng.Float64() < newFrac
 	if newAccount {
 		value = initialFunding // first transfer funds the account
 	}
-	sender, extra := g.pickSender(value + 50_000)
+	sender, topup := g.pickSender(value + 50_000)
 	if newAccount {
 		to = g.newAddress()
 		g.addAccountNear(to, sender)
 	} else {
 		to = g.pickTarget(sender)
 	}
-	return append(extra, g.transferTx(sender, to, value))
+	g.appendTx(topup)
+	g.appendTx(g.transferTx(sender, to, value))
 }
 
-// tokenTransfer calls a token contract's transfer.
-func (g *Generator) tokenTransfer() []*chain.Transaction {
-	sender, extra := g.pickSender(300_000)
+// tokenAction calls a token contract's transfer.
+func (g *Generator) tokenAction() {
+	sender, topup := g.pickSender(300_000)
 	token := g.pickContract(sender, &g.tokens)
 	recipient := g.pickTarget(sender)
 	amount := evm.WordFromUint64(uint64(1 + g.rng.Intn(1000)))
-	var data [64]byte
+	data := make([]byte, 64)
 	rb := evm.WordFromBytes(recipient[:]).Bytes32()
 	ab := amount.Bytes32()
 	copy(data[0:32], rb[:])
 	copy(data[32:64], ab[:])
-	return append(extra, g.noteTx(&chain.Transaction{
+	g.appendTx(topup)
+	g.appendTx(g.noteTx(&chain.Transaction{
 		Nonce: g.nonceOf(sender), From: sender, To: &token,
-		Data: data[:], GasLimit: 300_000, GasPrice: 1,
+		Data: data, GasLimit: 300_000, GasPrice: 1,
 	}))
 }
 
-// walletForward sends value through a wallet contract.
-func (g *Generator) walletForward() []*chain.Transaction {
+// walletAction sends value through a wallet contract.
+func (g *Generator) walletAction() {
 	value := uint64(100 + g.rng.Intn(10_000))
-	sender, extra := g.pickSender(value + 300_000)
+	sender, topup := g.pickSender(value + 300_000)
 	wallet := g.pickContract(sender, &g.wallets)
 	target := g.pickTarget(sender)
-	var data [32]byte
+	data := make([]byte, 32)
 	tb := evm.WordFromBytes(target[:]).Bytes32()
-	copy(data[:], tb[:])
-	return append(extra, g.noteTx(&chain.Transaction{
+	copy(data, tb[:])
+	g.appendTx(topup)
+	g.appendTx(g.noteTx(&chain.Transaction{
 		Nonce: g.nonceOf(sender), From: sender, To: &wallet,
-		Value: evm.WordFromUint64(value), Data: data[:], GasLimit: 300_000, GasPrice: 1,
+		Value: evm.WordFromUint64(value), Data: data, GasLimit: 300_000, GasPrice: 1,
 	}))
 }
 
-// crowdsaleBuy participates in a crowdsale.
-func (g *Generator) crowdsaleBuy() []*chain.Transaction {
+// crowdsaleAction participates in a crowdsale.
+func (g *Generator) crowdsaleAction() {
 	value := uint64(1_000 + g.rng.Intn(50_000))
-	sender, extra := g.pickSender(value + 500_000)
+	sender, topup := g.pickSender(value + 500_000)
 	sale := g.pickContract(sender, &g.crowdsales)
-	return append(extra, g.noteTx(&chain.Transaction{
+	g.appendTx(topup)
+	g.appendTx(g.noteTx(&chain.Transaction{
 		Nonce: g.nonceOf(sender), From: sender, To: &sale,
 		Value: evm.WordFromUint64(value), GasLimit: 500_000, GasPrice: 1,
 	}))
 }
 
-// gameMove plays a game contract.
-func (g *Generator) gameMove() []*chain.Transaction {
-	sender, extra := g.pickSender(500_000)
+// gameAction plays a game contract.
+func (g *Generator) gameAction() {
+	sender, topup := g.pickSender(500_000)
 	game := g.pickContract(sender, &g.games)
-	return append(extra, g.noteTx(&chain.Transaction{
+	g.appendTx(topup)
+	g.appendTx(g.noteTx(&chain.Transaction{
 		Nonce: g.nonceOf(sender), From: sender, To: &game,
 		Value: evm.WordFromUint64(10), GasLimit: 500_000, GasPrice: 1,
 	}))
 }
 
-// airdropBatch distributes to a batch of targets, some brand new.
-func (g *Generator) airdropBatch() []*chain.Transaction {
+// airdropAction distributes to a batch of targets, some brand new.
+func (g *Generator) airdropAction() {
 	n := 2 + g.rng.Intn(g.cfg.MaxAirdropFanout-1)
-	sender, extra := g.pickSender(uint64(200_000 + n*40_000))
+	sender, topup := g.pickSender(uint64(200_000 + n*40_000))
 	drop := g.pickContract(sender, &g.airdrops)
 	data := make([]byte, 32*(n+1))
 	nb := evm.WordFromUint64(uint64(n)).Bytes32()
@@ -598,7 +740,8 @@ func (g *Generator) airdropBatch() []*chain.Transaction {
 		tb := evm.WordFromBytes(target[:]).Bytes32()
 		copy(data[32*(i+1):], tb[:])
 	}
-	return append(extra, g.noteTx(&chain.Transaction{
+	g.appendTx(topup)
+	g.appendTx(g.noteTx(&chain.Transaction{
 		Nonce: g.nonceOf(sender), From: sender, To: &drop,
 		Data: data, GasLimit: uint64(200_000 + n*40_000), GasPrice: 1,
 	}))
