@@ -3,7 +3,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/bits"
 	"os"
 	"strconv"
 	"strings"
@@ -16,6 +15,7 @@ import (
 	"ethpart/internal/graph"
 	"ethpart/internal/report"
 	"ethpart/internal/sim"
+	"ethpart/internal/stats"
 )
 
 // runBenchDir executes the bench-dir subcommand: the serving-path load
@@ -23,9 +23,14 @@ import (
 // through the simulator to capture its placement/repartition/retirement
 // schedule, then — for each configured reader count — replays that
 // schedule's commits against a fresh directory while G goroutines issue
-// synthetic lookups as fast as they can, reporting lookups/sec, sampled
+// synthetic lookups as fast as they can, reporting lookups/sec, exact
 // lookup p50/p99, and the epoch-flip stall (the writer-side cost of
 // publishing a wave; readers never block on it).
+//
+// With -net the same schedule drives the networked serving tier instead:
+// the writer commits through a dirserve.Fanout replicating to -replicas
+// goroutine-hosted replica processes over loopback TCP, and readers issue
+// batch lookups through dirserve clients against the whole fleet.
 func runBenchDir(args []string) error {
 	fs := flag.NewFlagSet("ethpart bench-dir", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "drifting-era trace seed")
@@ -37,6 +42,8 @@ func runBenchDir(args []string) error {
 	duration := fs.Duration("duration", time.Second, "lookup phase length per reader count")
 	decay := fs.Duration("decay-half-life", 12*time.Hour, "windowed decay half-life for the schedule (0 = full history: no retirement traffic)")
 	horizon := fs.Duration("horizon", 0, "decay retention horizon (0 = default multiple of the half-life)")
+	netMode := fs.Bool("net", false, "serve over real loopback TCP sockets (the dirserve tier)")
+	replicasFlag := fs.String("replicas", "2", "comma-separated replica counts to sweep (with -net)")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of the table")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +82,14 @@ func runBenchDir(args []string) error {
 		len(sched.events), sched.waves, sched.placements, sched.retirements,
 		report.FormatCount(int64(len(gt.Records))))
 
+	if *netMode {
+		replicaCounts, err := parseReaders(*replicasFlag)
+		if err != nil {
+			return fmt.Errorf("bench-dir: bad -replicas: %w", err)
+		}
+		return benchDirNet(sched, maxID, replicaCounts, readers, *duration, *csvOut)
+	}
+
 	headers := []string{
 		"readers", "lookups", "lookups/s", "p50(ns)", "p99(ns)",
 		"commits", "flip-mean(us)", "flip-max(us)", "entries", "cold",
@@ -102,8 +117,9 @@ func runBenchDir(args []string) error {
 		return err
 	}
 	fmt.Printf("\n  p50/p99 are per-lookup averages over %d-lookup pinned-snapshot\n", lookupBurst)
-	fmt.Println("  bursts (log2 buckets); the epoch-flip stall is the writer-side")
-	fmt.Println("  commit cost — readers stay lock-free throughout.")
+	fmt.Println("  bursts, every burst recorded in an exact log-scale histogram")
+	fmt.Println("  (<=6.25% bucket error, no sampling); the epoch-flip stall is the")
+	fmt.Println("  writer-side commit cost -- readers stay lock-free throughout.")
 	return nil
 }
 
@@ -249,17 +265,17 @@ func driveDirectory(sched *schedule, maxID graph.VertexID, g int, d time.Duratio
 		}
 	}()
 
-	// Readers: lock-free lookups against pinned snapshots, latency
-	// sampled 1 in 256 into log2 histograms.
+	// Readers: lock-free lookups against pinned snapshots, every burst's
+	// per-lookup average recorded into an exact log-scale histogram.
 	var wg sync.WaitGroup
 	counts := make([]int64, g)
-	hists := make([][]int64, g)
+	hists := make([]*stats.LatencyHist, g)
 	start := time.Now()
 	for r := 0; r < g; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			hist := make([]int64, 40)
+			hist := new(stats.LatencyHist)
 			hists[r] = hist
 			state := uint64(r)*0x9e3779b97f4a7c15 + 1
 			next := func() uint64 {
@@ -281,7 +297,7 @@ func driveDirectory(sched *schedule, maxID graph.VertexID, g int, d time.Duratio
 					sink += s
 				}
 				avg := time.Since(t0).Nanoseconds() / lookupBurst
-				hist[bits.Len64(uint64(avg))]++
+				hist.Record(avg)
 				n += lookupBurst
 			}
 			counts[r] = n
@@ -295,18 +311,16 @@ func driveDirectory(sched *schedule, maxID graph.VertexID, g int, d time.Duratio
 	elapsed := time.Since(start)
 
 	var total int64
-	merged := make([]int64, 40)
+	merged := new(stats.LatencyHist)
 	for r := 0; r < g; r++ {
 		total += counts[r]
-		for i, c := range hists[r] {
-			merged[i] += c
-		}
+		merged.Merge(hists[r])
 	}
 	res := driveResult{
 		lookups: total,
 		elapsed: elapsed,
-		p50:     histPercentile(merged, 0.50),
-		p99:     histPercentile(merged, 0.99),
+		p50:     merged.Quantile(0.50),
+		p99:     merged.Quantile(0.99),
 		commits: commits,
 		flipMax: flipMax,
 		stats:   dir.Stats(),
@@ -315,25 +329,4 @@ func driveDirectory(sched *schedule, maxID graph.VertexID, g int, d time.Duratio
 		res.flipMean = flipTotal / time.Duration(commits)
 	}
 	return res
-}
-
-// histPercentile returns the approximate p-quantile of a log2-bucketed
-// nanosecond histogram (the bucket's upper bound).
-func histPercentile(hist []int64, p float64) int64 {
-	var total int64
-	for _, c := range hist {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	target := int64(p * float64(total))
-	var cum int64
-	for i, c := range hist {
-		cum += c
-		if cum > target {
-			return int64(1) << i
-		}
-	}
-	return int64(1) << (len(hist) - 1)
 }

@@ -1,0 +1,317 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ethpart/internal/directory"
+	"ethpart/internal/dirserve"
+	"ethpart/internal/graph"
+	"ethpart/internal/report"
+	"ethpart/internal/stats"
+)
+
+// benchDirNet is bench-dir's -net mode: the captured commit schedule drives
+// the networked serving tier. For every (replica count, reader count) pair
+// it stands up a primary front end plus N replica processes — goroutine-
+// hosted listeners over loopback TCP — replicates commits through a
+// dirserve.Fanout, and has readers issue snapshot-pinned batch lookups
+// through dirserve clients against the whole fleet. Reported per row:
+// lookup p50/p99 (exact histogram over real request round trips), the
+// epoch-flip stall (local commit + replication enqueue), and the replica
+// apply lag in epochs. Every run ends with a primary/replica convergence
+// check; divergence or zero served lookups is an error.
+func benchDirNet(sched *schedule, maxID graph.VertexID, replicaCounts, readers []int, d time.Duration, csvOut bool) error {
+	headers := []string{
+		"replicas", "readers", "lookups", "lookups/s", "p50(ns)", "p99(ns)",
+		"stale", "repins", "commits", "flip-mean(us)", "flip-max(us)",
+		"lag-max", "lag-mean", "entries", "cold", "promoted",
+	}
+	var rows [][]string
+	for _, nr := range replicaCounts {
+		for _, g := range readers {
+			res, err := driveDirectoryNet(sched, maxID, nr, g, d)
+			if err != nil {
+				return fmt.Errorf("bench-dir: net %d replicas / %d readers: %w", nr, g, err)
+			}
+			rows = append(rows, []string{
+				strconv.Itoa(nr),
+				strconv.Itoa(g),
+				report.FormatCount(res.lookups),
+				report.FormatCount(int64(float64(res.lookups) / res.elapsed.Seconds())),
+				strconv.FormatInt(res.p50, 10),
+				strconv.FormatInt(res.p99, 10),
+				report.FormatCount(res.stale),
+				report.FormatCount(res.repins),
+				report.FormatCount(res.commits),
+				fmt.Sprintf("%.1f", res.flipMean.Seconds()*1e6),
+				fmt.Sprintf("%.1f", res.flipMax.Seconds()*1e6),
+				strconv.FormatUint(res.lagMax, 10),
+				fmt.Sprintf("%.1f", res.lagMean),
+				report.FormatCount(int64(res.stats.Entries)),
+				report.FormatCount(int64(res.stats.Cold)),
+				report.FormatCount(int64(res.stats.Promoted)),
+			})
+		}
+	}
+	if csvOut {
+		return report.CSV(os.Stdout, headers, rows)
+	}
+	if err := report.Table(os.Stdout, headers, rows); err != nil {
+		return err
+	}
+	fmt.Printf("\n  p50/p99 are per-lookup averages over %d-ID batch round trips on\n", lookupBurst)
+	fmt.Println("  real loopback sockets (exact log-scale histogram); flip stall is")
+	fmt.Println("  local commit + replication enqueue; lag is the apply watermark")
+	fmt.Println("  distance in epochs. Every row ends with a replica convergence check.")
+	return nil
+}
+
+// netDriveResult is one (replicas, readers) measurement.
+type netDriveResult struct {
+	lookups  int64
+	elapsed  time.Duration
+	p50, p99 int64
+	stale    int64
+	repins   int64
+	commits  int64
+	flipMean time.Duration
+	flipMax  time.Duration
+	lagMax   uint64
+	lagMean  float64
+	stats    directory.Stats
+}
+
+// replicaProc is one goroutine-hosted replica process: its own directory,
+// idempotent applier, hint ring and socket server.
+type replicaProc struct {
+	dir  *directory.Directory
+	rp   *dirserve.Replica
+	ring *directory.HintRing
+	srv  *dirserve.Server
+}
+
+// startReplica stands up one replica process on a loopback listener.
+func startReplica() (*replicaProc, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &replicaProc{
+		dir:  directory.New(directory.Config{}),
+		ring: directory.NewHintRing(1024),
+	}
+	p.rp = dirserve.NewReplica(p.dir)
+	p.srv = dirserve.Serve(l, dirserve.ServerConfig{Dir: p.dir, Hints: p.ring, Replica: p.rp})
+	return p, nil
+}
+
+// driveDirectoryNet replays the schedule through a replicating fan-out
+// while g networked readers hammer batch lookups for at least d.
+func driveDirectoryNet(sched *schedule, maxID graph.VertexID, nReplicas, g int, d time.Duration) (*netDriveResult, error) {
+	primary := directory.New(directory.Config{})
+	ring := directory.NewHintRing(4096)
+
+	var reps []*replicaProc
+	var addrs []string
+	defer func() {
+		for _, p := range reps {
+			p.srv.Close()
+		}
+	}()
+	for i := 0; i < nReplicas; i++ {
+		p, err := startReplica()
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, p)
+		addrs = append(addrs, p.srv.Addr())
+	}
+	fan, err := dirserve.NewFanout(primary, ring, addrs...)
+	if err != nil {
+		return nil, err
+	}
+
+	primL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fan.Close()
+		return nil, err
+	}
+	primSrv := dirserve.Serve(primL, dirserve.ServerConfig{Dir: primary, Hints: ring})
+	defer primSrv.Close()
+	fleet := append([]string{primSrv.Addr()}, addrs...)
+
+	var stop atomic.Bool
+	var firstErr atomic.Pointer[error]
+	fail := func(err error) { firstErr.CompareAndSwap(nil, &err) }
+
+	// Writer: replay the schedule through the fan-out (local commit + ship
+	// to every replica), draining promotion hints into each commit's
+	// Promote lane the way the publisher does. Commit time — local flip
+	// plus replication enqueue — is the networked epoch-flip stall.
+	var commits int64
+	var flipTotal, flipMax time.Duration
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		seen := make(map[graph.VertexID]struct{})
+		for pass := 0; ; pass++ {
+			for _, ev := range sched.events {
+				if pass > 0 && !ev.wave {
+					continue // later passes replay only the wave traffic
+				}
+				b := ev.batch
+				if !ring.Empty() {
+					clear(seen)
+					var promote []graph.VertexID
+					ring.Drain(func(v graph.VertexID) {
+						if _, dup := seen[v]; dup {
+							return
+						}
+						seen[v] = struct{}{}
+						promote = append(promote, v)
+					})
+					b.Promote = promote // fresh slice: safe to ship async
+				}
+				start := time.Now()
+				if _, err := fan.CommitBatch(b, ev.wave); err != nil {
+					fail(err)
+					return
+				}
+				el := time.Since(start)
+				commits++
+				flipTotal += el
+				if el > flipMax {
+					flipMax = el
+				}
+				if stop.Load() {
+					return
+				}
+			}
+			if stop.Load() {
+				return
+			}
+		}
+	}()
+
+	// Readers: each owns a client dialled to the whole fleet and issues
+	// snapshot-pinned batch lookups; the batch round trip is timed and its
+	// per-lookup average recorded. Pins age out of the primary's journal
+	// under write load, so readers exercise the evict → resolve re-pin
+	// path continuously; lagging replicas exercise the behind-skip path.
+	var wg sync.WaitGroup
+	counts := make([]int64, g)
+	hists := make([]*stats.LatencyHist, g)
+	staleCounts := make([]int64, g)
+	repinCounts := make([]int64, g)
+	start := time.Now()
+	for r := 0; r < g; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			hist := new(stats.LatencyHist)
+			hists[r] = hist
+			c, err := dirserve.Dial(fleet...)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer c.Close()
+			ids := make([]graph.VertexID, lookupBurst)
+			out := make([]int32, lookupBurst)
+			state := uint64(r)*0x9e3779b97f4a7c15 + 1
+			next := func() uint64 {
+				state = state*6364136223846793005 + 1442695040888963407
+				return state >> 33
+			}
+			var n int64
+			for !stop.Load() {
+				for i := range ids {
+					ids[i] = graph.VertexID(next() % uint64(maxID))
+				}
+				t0 := time.Now()
+				if _, _, err := c.LookupBatch(ids, out); err != nil {
+					if !stop.Load() {
+						fail(err)
+					}
+					break
+				}
+				hist.Record(time.Since(t0).Nanoseconds() / lookupBurst)
+				n += lookupBurst
+			}
+			counts[r] = n
+			staleCounts[r] = c.StaleBatches
+			repinCounts[r] = c.Repins
+		}(r)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	<-writerDone
+	elapsed := time.Since(start)
+
+	// Flush the feeds (every queued shipment acked) before reading lag and
+	// comparing views.
+	if err := fan.Close(); err != nil {
+		return nil, err
+	}
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
+	}
+
+	res := &netDriveResult{elapsed: elapsed, commits: commits, flipMax: flipMax, stats: primary.Stats()}
+	merged := new(stats.LatencyHist)
+	for r := 0; r < g; r++ {
+		res.lookups += counts[r]
+		res.stale += staleCounts[r]
+		res.repins += repinCounts[r]
+		merged.Merge(hists[r])
+	}
+	res.p50 = merged.Quantile(0.50)
+	res.p99 = merged.Quantile(0.99)
+	if commits > 0 {
+		res.flipMean = flipTotal / time.Duration(commits)
+	}
+	var lagSum float64
+	for _, fs := range fan.FeedStats() {
+		if fs.LagMax > res.lagMax {
+			res.lagMax = fs.LagMax
+		}
+		lagSum += fs.LagMean
+	}
+	if len(reps) > 0 {
+		res.lagMean = lagSum / float64(len(reps))
+	}
+	if res.lookups == 0 {
+		return nil, fmt.Errorf("zero lookups served")
+	}
+
+	// Convergence: after the feeds drain, every replica's view must match
+	// the primary's entry-for-entry.
+	want := primary.Current()
+	for i, p := range reps {
+		if p.rp.Applied() != want.Epoch() {
+			return nil, fmt.Errorf("replica %d applied %d epochs, primary at %d", i, p.rp.Applied(), want.Epoch())
+		}
+		got := p.dir.Current()
+		if got.Len() != want.Len() {
+			return nil, fmt.Errorf("replica %d holds %d entries, primary %d", i, got.Len(), want.Len())
+		}
+		diverged := 0
+		want.Each(func(v graph.VertexID, shard int) bool {
+			if sh, ok := got.Lookup(v); !ok || sh != shard {
+				diverged++
+			}
+			return diverged == 0
+		})
+		if diverged > 0 {
+			return nil, fmt.Errorf("replica %d view diverged from primary", i)
+		}
+	}
+	return res, nil
+}

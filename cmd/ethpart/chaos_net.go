@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"net"
+
+	"ethpart/internal/directory"
+	"ethpart/internal/dirserve"
+	"ethpart/internal/fault"
+	"ethpart/internal/graph"
+)
+
+// chaosNet is the networked side of a chaos scenario: N replica processes
+// (goroutine-hosted servers over loopback TCP), each applying the primary's
+// commit stream through its OWN fault.FlakyDirectory with a derived seed —
+// replica-side stalled waves and transient commit failures reorder and
+// retry commits locally — and a dirserve.Fanout splice for the primary.
+// After the run, every replica must converge entry-by-entry to the
+// in-process oracle view with zero torn epochs.
+type chaosNet struct {
+	reps []*chaosNetReplica
+	fan  *dirserve.Fanout
+}
+
+type chaosNetReplica struct {
+	dir   *directory.Directory
+	inj   *fault.Injector
+	flaky *fault.FlakyDirectory
+	rp    *dirserve.Replica
+	srv   *dirserve.Server
+}
+
+// startChaosNet stands up n replica processes for one scenario. Each
+// replica's injector reuses the scenario's directory-fault knobs under a
+// seed derived from the replica index, so no two replicas (nor the
+// primary) stall or fail the same commits.
+func startChaosNet(n int, sched fault.Schedule) (*chaosNet, error) {
+	cn := &chaosNet{}
+	for i := 0; i < n; i++ {
+		inj, err := fault.New(fault.Schedule{
+			Seed:             sched.Seed*1_000_003 + uint64(i) + 1,
+			Shards:           sched.Shards,
+			WaveStallFlushes: sched.WaveStallFlushes,
+			CommitFailEvery:  sched.CommitFailEvery,
+			CommitFailCount:  sched.CommitFailCount,
+		})
+		if err != nil {
+			cn.close()
+			return nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cn.close()
+			return nil, err
+		}
+		r := &chaosNetReplica{dir: directory.New(directory.Config{}), inj: inj}
+		r.flaky = fault.NewFlakyDirectory(r.dir, inj)
+		r.rp = dirserve.NewReplica(r.flaky)
+		r.srv = dirserve.Serve(l, dirserve.ServerConfig{Dir: r.dir, Replica: r.rp})
+		cn.reps = append(cn.reps, r)
+	}
+	return cn, nil
+}
+
+// committer is the opsim.Config.DirCommitter splice: a fan-out from the
+// run's primary directory to every replica process. It sits below the
+// primary's fault plane, so replicas receive exactly the landed commit
+// sequence with real epoch numbers.
+func (cn *chaosNet) committer(d *directory.Directory) (directory.Committer, error) {
+	addrs := make([]string, len(cn.reps))
+	for i, r := range cn.reps {
+		addrs[i] = r.srv.Addr()
+	}
+	fan, err := dirserve.NewFanout(d, nil, addrs...)
+	if err != nil {
+		return nil, err
+	}
+	cn.fan = fan
+	return fan, nil
+}
+
+// chaosNetStats summarises the replica fleet after a scenario.
+type chaosNetStats struct {
+	applied    uint64 // contiguous apply watermark (identical across replicas)
+	waveStalls uint64 // replica-side injected wave stalls, summed
+	torn       uint64 // replica-side torn commits, summed (must be zero)
+}
+
+// finish drains the fan-out and every replica's stalled waves, then
+// cross-checks each replica's final directory view entry-by-entry (both
+// directions) against the in-process oracle snapshot. Violations are
+// returned in the chaos run's invariant-violation format.
+func (cn *chaosNet) finish(oracle *directory.Snapshot) (chaosNetStats, []string) {
+	var st chaosNetStats
+	var violations []string
+	if cn.fan != nil {
+		if err := cn.fan.Close(); err != nil {
+			violations = append(violations, fmt.Sprintf("net: fan-out: %v", err))
+		}
+	}
+	for i, r := range cn.reps {
+		if err := r.flaky.DrainStalls(); err != nil {
+			violations = append(violations, fmt.Sprintf("net: replica %d drain: %v", i, err))
+			continue
+		}
+		m := r.inj.Metrics.Snapshot()
+		st.waveStalls += m.WaveStalls
+		st.torn += m.TornCommits
+		if m.TornCommits > 0 {
+			violations = append(violations, fmt.Sprintf("net: replica %d observed %d torn epochs", i, m.TornCommits))
+		}
+		if st.applied == 0 {
+			st.applied = r.rp.Applied()
+		} else if r.rp.Applied() != st.applied {
+			violations = append(violations, fmt.Sprintf("net: replica %d applied %d epochs, replica 0 applied %d",
+				i, r.rp.Applied(), st.applied))
+		}
+		if oracle == nil {
+			violations = append(violations, "net: run produced no oracle directory view")
+			continue
+		}
+		got := r.dir.Current()
+		if got.Len() != oracle.Len() {
+			violations = append(violations, fmt.Sprintf("net: replica %d holds %d entries, oracle %d",
+				i, got.Len(), oracle.Len()))
+		}
+		// Entry-by-entry, both directions: same vertices, same shards. The
+		// comparison is on the served mapping — replica-side stalls reorder
+		// tier-only lanes (Retire/Promote) against each other, so tiers may
+		// legitimately differ; answers may not.
+		diverged := 0
+		oracle.Each(func(v graph.VertexID, shard int) bool {
+			if sh, ok := got.Lookup(v); !ok || sh != shard {
+				violations = append(violations, fmt.Sprintf(
+					"net: replica %d vertex %d = %d (ok=%v), oracle %d", i, v, sh, ok, shard))
+				diverged++
+			}
+			return diverged < 5
+		})
+		got.Each(func(v graph.VertexID, shard int) bool {
+			if _, ok := oracle.Lookup(v); !ok {
+				violations = append(violations, fmt.Sprintf("net: replica %d holds extra vertex %d", i, v))
+				diverged++
+			}
+			return diverged < 5
+		})
+	}
+	if len(cn.reps) > 0 && st.applied == 0 {
+		violations = append(violations, "net: replicas applied zero epochs")
+	}
+	cn.close()
+	return st, violations
+}
+
+func (cn *chaosNet) close() {
+	for _, r := range cn.reps {
+		if r.srv != nil {
+			r.srv.Close()
+		}
+	}
+}

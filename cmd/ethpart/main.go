@@ -11,9 +11,10 @@
 //	        [-k 2] [-csv] [-parallel] [-decay-half-life 168h] [-horizon 672h]
 //	        [-autoscale [-k-min 1] [-k-max 8] [-target-load 1024]]
 //	ethpart bench-dir [-readers 1,2,4] [-duration 1s] [-method tr-metis]
-//	        [-eras 12] [-decay-half-life 12h] [-csv]
+//	        [-eras 12] [-decay-half-life 12h] [-net [-replicas 2]] [-csv]
 //	ethpart chaos [-scenario all] [-workload diurnal-exchange [-arrival flash]]
-//	        [-seed 1] [-k 4] [-eras 6] [-windows-per-era 6] [-csv]
+//	        [-seed 1] [-k 4] [-eras 6] [-windows-per-era 6]
+//	        [-net [-replicas 2]] [-csv]
 //
 // -trace accepts gzip-compressed traces (sniffed by magic bytes, so both
 // trace.csv.gz and renamed compressed files work). -scenario replays a
@@ -45,7 +46,18 @@
 // drifting-era trace's placement/repartition/retirement schedule, then
 // replays those commits against the epoch-versioned directory while G
 // reader goroutines issue synthetic lookups, sweeping G and reporting
-// lookups/sec, sampled p50/p99 lookup latency, and the epoch-flip stall.
+// lookups/sec, exact p50/p99 lookup latency (log-scale histogram, no
+// sampling), and the epoch-flip stall. With -net the same schedule drives
+// the networked serving tier (internal/dirserve) instead: commits
+// replicate through an epoch fan-out to -replicas replica processes over
+// loopback TCP, readers issue snapshot-pinned batch lookups through real
+// sockets, and the report adds the replica apply lag; every row ends with
+// a primary/replica convergence check.
+//
+// chaos -net replicates every scenario's directory commits to -replicas
+// replica processes, each applying through its own fault plane (derived
+// seed); their final views must converge entry-by-entry to the in-process
+// oracle with zero torn epochs.
 //
 // -horizon without -decay-half-life is rejected at flag-parse time by
 // every subcommand (the horizon is the decay subsystem's retention bound

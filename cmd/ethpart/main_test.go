@@ -186,6 +186,27 @@ func TestBenchDir(t *testing.T) {
 	}
 }
 
+// TestBenchDirNet smoke-runs the networked serving tier: a primary front
+// end plus two replica processes over loopback TCP, readers issuing
+// snapshot-pinned batch lookups while commits replicate through the epoch
+// fan-out. runBenchDir errors on zero served lookups or any replica
+// divergence, so a passing run is the serving-path smoke assertion.
+func TestBenchDirNet(t *testing.T) {
+	for _, extra := range [][]string{nil, {"-csv"}} {
+		args := append([]string{
+			"-net", "-replicas", "2",
+			"-eras", "4", "-windows-per-era", "4",
+			"-readers", "2", "-duration", "100ms",
+		}, extra...)
+		if err := runBenchDir(args); err != nil {
+			t.Errorf("bench-dir -net %v: %v", extra, err)
+		}
+	}
+	if err := runBenchDir([]string{"-net", "-replicas", "0"}); err == nil {
+		t.Error("bench-dir -net -replicas 0 accepted")
+	}
+}
+
 // TestChaosSmoke runs the full seeded scenario library at a tiny scale —
 // every scenario must converge byte-identical to the fault-free oracle
 // (runChaos returns an error on any invariant violation) — plus the CSV
@@ -202,6 +223,24 @@ func TestChaosSmoke(t *testing.T) {
 	}
 	if err := runChaos([]string{"-method", "bogus"}); err == nil {
 		t.Error("chaos bad method accepted")
+	}
+}
+
+// TestChaosNetSmoke runs the networked chaos path on the two directory-
+// fault schedules: commits replicate over loopback TCP to replicas that
+// each apply through their own fault plane, and runChaos errors unless
+// every replica view converges entry-by-entry to the in-process oracle
+// with zero torn epochs.
+func TestChaosNetSmoke(t *testing.T) {
+	for _, scenario := range []string{"flip-stall", "mixed"} {
+		err := runChaos([]string{
+			"-net", "-replicas", "2",
+			"-eras", "3", "-windows-per-era", "3", "-k", "2",
+			"-scenario", scenario,
+		})
+		if err != nil {
+			t.Errorf("chaos -net %s: %v", scenario, err)
+		}
 	}
 }
 

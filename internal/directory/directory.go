@@ -129,6 +129,27 @@ func (s *Snapshot) Lookup(v graph.VertexID) (int, bool) {
 	return NoShard, false
 }
 
+// LookupTier is Lookup plus tier information: cold reports whether the
+// answer came from the cold tier. The serving front end uses it to emit
+// promotion hints for hot-again accounts without taking any lock.
+func (s *Snapshot) LookupTier(v graph.VertexID) (shard int, cold, ok bool) {
+	if v < hotIDLimit {
+		if p := int(v >> pageBits); p < len(s.pages) {
+			if pg := s.pages[p]; pg != nil {
+				if sh := pg[v&pageMask]; sh != noShard {
+					return int(sh), false, true
+				}
+			}
+		}
+	}
+	if s.cold != nil {
+		if sh, ok := s.cold[v]; ok {
+			return int(sh), true, true
+		}
+	}
+	return NoShard, false, false
+}
+
 // Each calls fn for every mapped vertex of the view: hot tier in ascending
 // ID order, then cold entries in unspecified order. Stops early when fn
 // returns false.
@@ -172,7 +193,11 @@ type Move struct {
 // remapping retired sticky assignments off a decommissioned shard, which
 // must not re-hydrate dead history into the hot tier. Retire entries spill
 // the vertex's current hot mapping into the cold map (no-ops for vertices
-// already cold or never seen).
+// already cold or never seen). Promote entries re-hydrate cold entries
+// back into the hot tier at their current shard — the promotion-on-access
+// lane fed by the read-side hint ring; a promotion never changes a
+// lookup's answer and is a no-op for hot, unknown, or out-of-range
+// vertices, so duplicated or stale hints are harmless.
 //
 // Shards, when positive, declares the shard count the batch's mappings are
 // expressed against; it becomes the snapshot's epoch-consistent Shards().
@@ -184,6 +209,7 @@ type Batch struct {
 	Set     []Move
 	SetCold []Move
 	Retire  []graph.VertexID
+	Promote []graph.VertexID
 	Shards  int
 }
 
@@ -214,7 +240,7 @@ type Directory struct {
 	pageLive []int32
 
 	// Cumulative writer-side counters (guarded by mu).
-	flips, retired, rehydrated uint64
+	flips, waveFlips, retired, rehydrated, promoted uint64
 }
 
 // New returns an empty directory at epoch zero.
@@ -303,14 +329,16 @@ func (d *Directory) Resolve(e uint64) (s *Snapshot, stale bool) {
 // publisher and the directory. wave marks a repartition's epoch flip (the
 // whole move set of one repartition as a single batch), so wrappers can
 // treat flips differently from per-record placement flushes; the Directory
-// ignores the distinction.
+// counts it (Stats.WaveFlips) but applies both kinds identically.
 type Committer interface {
 	CommitBatch(b Batch, wave bool) (uint64, error)
 }
 
-// CommitBatch implements Committer; the wave marker is reporting only.
-func (d *Directory) CommitBatch(b Batch, _ bool) (uint64, error) {
-	return d.Commit(b)
+// CommitBatch implements Committer. Wave commits are tallied separately in
+// Stats.WaveFlips, so reports can split repartition flips from loose
+// placement flushes.
+func (d *Directory) CommitBatch(b Batch, wave bool) (uint64, error) {
+	return d.commit(b, wave)
 }
 
 // Place maps a single vertex, as its own epoch flip. It is Commit of a
@@ -323,6 +351,10 @@ func (d *Directory) Place(v graph.VertexID, shard int) (uint64, error) {
 // empty batch still flips the epoch (callers that want "no change, no
 // flip" should skip the call — the Publisher does).
 func (d *Directory) Commit(b Batch) (uint64, error) {
+	return d.commit(b, false)
+}
+
+func (d *Directory) commit(b Batch, wave bool) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
@@ -485,6 +517,27 @@ func (d *Directory) Commit(b Batch) (uint64, error) {
 		cold[m.V] = int32(m.To)
 	}
 
+	for _, v := range b.Promote {
+		// Promotion-on-access: move a cold entry back to the hot tier at
+		// its current shard. Mapping, Len and every Lookup answer are
+		// unchanged — only the tier moves — so replicas applying the same
+		// stream converge on the same mapping regardless of hint timing.
+		if v >= hotIDLimit || next.cold == nil {
+			continue // permanently cold, or nothing spilled yet
+		}
+		sh, ok := next.cold[v]
+		if !ok {
+			continue // already hot, or never seen: stale hint, no-op
+		}
+		p := int(v >> pageBits)
+		pg := ownPage(p)
+		pg[v&pageMask] = sh
+		delete(ownCold(), v)
+		next.hot++
+		d.pageLive[p]++
+		d.promoted++
+	}
+
 	for _, v := range b.Retire {
 		if v >= hotIDLimit {
 			continue // already cold-resident by construction
@@ -513,6 +566,9 @@ func (d *Directory) Commit(b Batch) (uint64, error) {
 	}
 
 	d.flips++
+	if wave {
+		d.waveFlips++
+	}
 	d.jhead = (d.jhead + 1) % d.journalDepth
 	d.journal[d.jhead] = next
 	d.view.Store(next)
@@ -521,14 +577,20 @@ func (d *Directory) Commit(b Batch) (uint64, error) {
 
 // Stats is a point-in-time summary of the directory for reporting.
 type Stats struct {
-	Epoch      uint64
-	Shards     int
-	Entries    int
-	Hot, Cold  int
-	Pages      int // allocated (non-nil) hot pages in the current view
-	Flips      uint64
+	Epoch     uint64
+	Shards    int
+	Entries   int
+	Hot, Cold int
+	Pages     int // allocated (non-nil) hot pages in the current view
+	Flips     uint64
+	// WaveFlips counts the commits marked as repartition waves through the
+	// Committer seam; Flips - WaveFlips are loose placement flushes.
+	WaveFlips  uint64
 	Retired    uint64
 	Rehydrated uint64
+	// Promoted counts cold entries re-hydrated through the Promote lane
+	// (promotion-on-access); Rehydrated counts re-hydrations caused by Set.
+	Promoted uint64
 }
 
 // Stats returns current counters.
@@ -545,6 +607,7 @@ func (d *Directory) Stats() Stats {
 	return Stats{
 		Epoch: s.epoch, Shards: s.shards, Entries: s.entries, Hot: s.hot,
 		Cold: s.entries - s.hot, Pages: pages, Flips: d.flips,
-		Retired: d.retired, Rehydrated: d.rehydrated,
+		WaveFlips: d.waveFlips, Retired: d.retired, Rehydrated: d.rehydrated,
+		Promoted: d.promoted,
 	}
 }

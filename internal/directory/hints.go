@@ -1,0 +1,88 @@
+package directory
+
+import (
+	"sync/atomic"
+
+	"ethpart/internal/graph"
+)
+
+// HintRing is a bounded, lock-free, multi-producer single-consumer ring of
+// promotion hints: vertex IDs whose lookups hit the cold tier and that the
+// publisher should consider re-hydrating into the hot tier at its next
+// commit. The read path pushes without a lock (one CAS to reserve a slot,
+// one store to publish it) and drops hints when the ring is full — a hint
+// is advisory, losing one only delays a promotion until the vertex is
+// looked up again. Drain is single-consumer: exactly one goroutine (the
+// publisher) may call it.
+//
+// A slot holds v+1 so zero means "reserved but not yet published" (or
+// empty); a drain that reaches such a slot stops there and picks the
+// remainder up next time, so a half-published slot is never consumed and
+// never lost.
+type HintRing struct {
+	slots []atomic.Uint64
+	mask  uint64
+	head  atomic.Uint64 // consumer position
+	tail  atomic.Uint64 // producer reservations
+
+	pushed  atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// NewHintRing returns a ring with capacity rounded up to a power of two
+// (minimum 64; size <= 0 selects the default of 1024).
+func NewHintRing(size int) *HintRing {
+	if size <= 0 {
+		size = 1024
+	}
+	cap := 64
+	for cap < size {
+		cap <<= 1
+	}
+	return &HintRing{slots: make([]atomic.Uint64, cap), mask: uint64(cap - 1)}
+}
+
+// Push offers one hint. It never blocks; false means the ring was full and
+// the hint was dropped.
+func (r *HintRing) Push(v graph.VertexID) bool {
+	for {
+		t := r.tail.Load()
+		if t-r.head.Load() >= uint64(len(r.slots)) {
+			r.dropped.Add(1)
+			return false
+		}
+		if r.tail.CompareAndSwap(t, t+1) {
+			r.slots[t&r.mask].Store(uint64(v) + 1)
+			r.pushed.Add(1)
+			return true
+		}
+	}
+}
+
+// Drain consumes every published hint, oldest first, and returns how many
+// it delivered. Single consumer only.
+func (r *HintRing) Drain(fn func(graph.VertexID)) int {
+	h := r.head.Load()
+	t := r.tail.Load()
+	n := 0
+	for i := h; i < t; i++ {
+		x := r.slots[i&r.mask].Swap(0)
+		if x == 0 {
+			// Reserved but not yet published: stop, the next drain gets it.
+			t = i
+			break
+		}
+		fn(graph.VertexID(x - 1))
+		n++
+	}
+	r.head.Store(t)
+	return n
+}
+
+// Empty reports whether the ring has no pending hints (racy by nature;
+// callers use it only to skip a drain).
+func (r *HintRing) Empty() bool { return r.tail.Load() == r.head.Load() }
+
+// Pushed and Dropped report cumulative accepted and discarded hints.
+func (r *HintRing) Pushed() uint64  { return r.pushed.Load() }
+func (r *HintRing) Dropped() uint64 { return r.dropped.Load() }

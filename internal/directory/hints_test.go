@@ -1,0 +1,152 @@
+package directory
+
+import (
+	"sync"
+	"testing"
+
+	"ethpart/internal/graph"
+)
+
+func TestHintRingPushDrain(t *testing.T) {
+	r := NewHintRing(64)
+	if !r.Empty() {
+		t.Fatal("fresh ring not empty")
+	}
+	for v := graph.VertexID(1); v <= 10; v++ {
+		if !r.Push(v) {
+			t.Fatalf("push %d rejected on non-full ring", v)
+		}
+	}
+	if r.Empty() {
+		t.Fatal("ring empty after pushes")
+	}
+	var got []graph.VertexID
+	r.Drain(func(v graph.VertexID) { got = append(got, v) })
+	if len(got) != 10 {
+		t.Fatalf("drained %d hints, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != graph.VertexID(i+1) {
+			t.Errorf("hint %d = %d, want %d (FIFO order)", i, v, i+1)
+		}
+	}
+	if !r.Empty() {
+		t.Error("ring not empty after full drain")
+	}
+}
+
+func TestHintRingDropOnFull(t *testing.T) {
+	r := NewHintRing(64) // min size
+	for v := graph.VertexID(0); v < 64; v++ {
+		if !r.Push(v) {
+			t.Fatalf("push %d rejected before capacity", v)
+		}
+	}
+	if r.Push(999) {
+		t.Error("push on full ring must drop, not block or overwrite")
+	}
+	if r.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", r.Dropped())
+	}
+	n := 0
+	r.Drain(func(graph.VertexID) { n++ })
+	if n != 64 {
+		t.Errorf("drained %d, want the 64 retained hints", n)
+	}
+	// Capacity is fully reusable after a drain.
+	if !r.Push(1000) {
+		t.Error("push rejected after drain freed the ring")
+	}
+}
+
+func TestHintRingSizeRounding(t *testing.T) {
+	r := NewHintRing(100) // rounds up to 128
+	pushed := 0
+	for v := graph.VertexID(0); v < 256; v++ {
+		if r.Push(v) {
+			pushed++
+		}
+	}
+	if pushed != 128 {
+		t.Errorf("accepted %d pushes, want 128 (pow2 round-up of 100)", pushed)
+	}
+	r0 := NewHintRing(0) // default
+	if got := r0.Push(1); !got {
+		t.Error("default-sized ring rejected first push")
+	}
+}
+
+// TestHintRingConcurrent hammers the ring with concurrent producers while a
+// single consumer drains: every hint is either delivered exactly once or
+// counted dropped. Run under -race.
+func TestHintRingConcurrent(t *testing.T) {
+	r := NewHintRing(256)
+	const producers = 8
+	const perProducer = 10000
+
+	var mu sync.Mutex
+	seen := make(map[graph.VertexID]int)
+	stop := make(chan struct{})
+	var consumerWG sync.WaitGroup
+	consumerWG.Add(1)
+	go func() {
+		defer consumerWG.Done()
+		for {
+			r.Drain(func(v graph.VertexID) {
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			})
+			select {
+			case <-stop:
+				r.Drain(func(v graph.VertexID) {
+					mu.Lock()
+					seen[v]++
+					mu.Unlock()
+				})
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var pushedCount int64
+	var pushMu sync.Mutex
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < perProducer; i++ {
+				v := graph.VertexID(p*perProducer + i)
+				if r.Push(v) {
+					local++
+				}
+			}
+			pushMu.Lock()
+			pushedCount += local
+			pushMu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	close(stop)
+	consumerWG.Wait()
+
+	delivered := int64(0)
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("hint %d delivered %d times, want exactly once", v, n)
+		}
+		delivered++
+	}
+	if delivered != pushedCount {
+		t.Errorf("delivered %d hints, accepted %d — hints lost in the ring", delivered, pushedCount)
+	}
+	if r.Pushed() != uint64(pushedCount) {
+		t.Errorf("Pushed() = %d, want %d", r.Pushed(), pushedCount)
+	}
+	if delivered == 0 {
+		t.Error("vacuous run: nothing delivered")
+	}
+}

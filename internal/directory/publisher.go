@@ -39,6 +39,10 @@ type Publisher struct {
 	// remapping sticky assignments off a drained shard doesn't re-hydrate
 	// dead history into the hot tier.
 	live func(graph.VertexID) bool
+	// hints, when set, is drained into each outgoing batch's Promote lane:
+	// read-side cold-tier hits become hot-tier re-hydrations at the next
+	// commit, without the read path ever taking a write lock.
+	hints *HintRing
 }
 
 // NewPublisher returns a publisher committing through c — a Directory, or
@@ -56,6 +60,12 @@ func (p *Publisher) SetShards(k int) { p.shards = k }
 // promoting Set lane (live vertices) and the tier-preserving SetCold lane
 // (retired ones). A nil func restores the default: every move promotes.
 func (p *Publisher) SetLive(fn func(graph.VertexID) bool) { p.live = fn }
+
+// AttachHints installs the promotion hint ring the publisher drains at
+// every commit. The ring's producers are the serving path's readers (local
+// snapshot lookups or the networked front end); the publisher is the
+// ring's single consumer.
+func (p *Publisher) AttachHints(r *HintRing) { p.hints = r }
 
 // OnPlace buffers a first-sight placement.
 func (p *Publisher) OnPlace(v graph.VertexID, shard int) {
@@ -115,7 +125,8 @@ func (p *Publisher) Flush() error {
 }
 
 func (p *Publisher) flush(wave bool) error {
-	if len(p.places) == 0 && len(p.moves) == 0 && len(p.movesCold) == 0 && len(p.retires) == 0 {
+	if len(p.places) == 0 && len(p.moves) == 0 && len(p.movesCold) == 0 && len(p.retires) == 0 &&
+		(p.hints == nil || p.hints.Empty()) {
 		return nil
 	}
 	b := p.take(p.shards)
@@ -123,13 +134,27 @@ func (p *Publisher) flush(wave bool) error {
 	return err
 }
 
-// take drains the buffers into one batch stamped with the given shard
-// count.
+// take drains the buffers (and the hint ring) into one batch stamped with
+// the given shard count. Every slice in the returned batch is freshly
+// allocated: committers may retain a batch beyond the call — a stalled
+// wave in the fault plane, an asynchronous replica fan-out — so it must
+// not alias the publisher's reusable buffers.
 func (p *Publisher) take(shards int) Batch {
-	b := Batch{Retire: p.retires, Shards: shards}
+	b := Batch{Shards: shards}
 	b.Set = append(b.Set, p.places...)
 	b.Set = append(b.Set, p.moves...)
 	b.SetCold = append(b.SetCold, p.movesCold...)
+	b.Retire = append(b.Retire, p.retires...)
+	if p.hints != nil && !p.hints.Empty() {
+		seen := make(map[graph.VertexID]struct{})
+		p.hints.Drain(func(v graph.VertexID) {
+			if _, dup := seen[v]; dup {
+				return
+			}
+			seen[v] = struct{}{}
+			b.Promote = append(b.Promote, v)
+		})
+	}
 	p.places = p.places[:0]
 	p.moves = p.moves[:0]
 	p.movesCold = p.movesCold[:0]

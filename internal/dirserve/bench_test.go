@@ -1,0 +1,49 @@
+package dirserve
+
+import (
+	"net"
+	"testing"
+
+	"ethpart/internal/directory"
+	"ethpart/internal/graph"
+)
+
+// BenchmarkNetLookupBatch measures one snapshot-pinned batch lookup round
+// trip (256 IDs per batch) over a real loopback TCP socket — the networked
+// counterpart of the in-process BenchmarkSnapshotLookup.
+func BenchmarkNetLookupBatch(b *testing.B) {
+	dir := directory.New(directory.Config{})
+	const nVerts = 1 << 16
+	batch := directory.Batch{Shards: 8}
+	for v := 0; v < nVerts; v++ {
+		batch.Set = append(batch.Set, directory.Move{V: graph.VertexID(v), To: v % 8})
+	}
+	if _, err := dir.Commit(batch); err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := Serve(l, ServerConfig{Dir: dir})
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const batchLen = 256
+	ids := make([]graph.VertexID, batchLen)
+	out := make([]int32, batchLen)
+	for i := range ids {
+		ids[i] = graph.VertexID((i * 257) % nVerts)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.LookupBatch(ids, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batchLen), "ids/op")
+}

@@ -26,6 +26,7 @@ import (
 // to stay zero.
 type FlakyDirectory struct {
 	d   *directory.Directory
+	c   directory.Committer // commit target; d itself, or a wrapper below
 	inj *Injector
 
 	mu      sync.Mutex
@@ -40,7 +41,17 @@ type stalledWave struct {
 
 // NewFlakyDirectory wraps d with the degradation plan of inj.
 func NewFlakyDirectory(d *directory.Directory, inj *Injector) *FlakyDirectory {
-	return &FlakyDirectory{d: d, inj: inj}
+	return NewFlakyCommitter(d, d, inj)
+}
+
+// NewFlakyCommitter wraps an arbitrary committer over d with the
+// degradation plan of inj: commits land through c (so a replica fan-out
+// below the fault plane ships exactly the commits that actually land, in
+// their landed order, with real epoch numbers), while the tear check and
+// staleness observations still read d's published snapshots. c must
+// ultimately commit into d.
+func NewFlakyCommitter(d *directory.Directory, c directory.Committer, inj *Injector) *FlakyDirectory {
+	return &FlakyDirectory{d: d, c: c, inj: inj}
 }
 
 // Directory returns the wrapped directory.
@@ -90,7 +101,7 @@ func (f *FlakyDirectory) commit(b directory.Batch, wave bool) (uint64, error) {
 			f.inj.Metrics.CommitFailures.Add(1)
 			continue
 		}
-		e, err := f.d.Commit(b)
+		e, err := f.c.CommitBatch(b, wave)
 		if err != nil {
 			return e, err
 		}

@@ -20,6 +20,7 @@ func stripMeasurement(r *Result) *Result {
 	c := *r
 	c.StepNanos = 0
 	c.DirectoryStats = nil
+	c.DirectoryView = nil
 	if c.Sweeps != nil {
 		// SweepNanos is wall clock; the rest of each observation (live
 		// sizes, touched counts, skip flags) is simulation state and must

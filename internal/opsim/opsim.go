@@ -96,6 +96,18 @@ type Config struct {
 	// capturing hashes every shard's state, which golden tests that
 	// DeepEqual whole Results neither need nor want to pay for.
 	Capture bool
+	// DirCommitter, when non-nil, wraps the run's directory in a caller-
+	// supplied committer (ResolverDirectory only) — the seam the networked
+	// serving tier uses to splice a dirserve.Fanout under the publisher.
+	// With Fault also armed the chain is Publisher → FlakyDirectory →
+	// DirCommitter → Directory, so replicas receive exactly the landed
+	// commit sequence with real epoch numbers. The caller owns the
+	// committer's lifecycle (e.g. closing fan-out feeds after Run returns).
+	DirCommitter func(d *directory.Directory) (directory.Committer, error)
+	// DirHints, when non-nil, is attached to the publisher so promotion
+	// hints (cold-tier lookups pushed by serving processes) drain into each
+	// commit's Promote lane. ResolverDirectory only.
+	DirHints *directory.HintRing
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +202,10 @@ type Result struct {
 	// (nil under ResolverAssignment). It is reporting, not replayed state:
 	// both resolvers agree on every other field.
 	DirectoryStats *directory.Stats
+	// DirectoryView is the directory's final published snapshot (nil under
+	// ResolverAssignment), taken after stalled waves drain — the in-process
+	// oracle a networked chaos run cross-checks replica views against.
+	DirectoryView *directory.Snapshot
 	// Blocks counts the blocks stepped (including the settle-drain steps)
 	// and StepNanos the wall-clock spent inside ShardChain.Step. They are
 	// measurement, not simulation state: two runs of the same trace agree
@@ -318,12 +334,22 @@ func Run(gt *sim.GeneratedTrace, cfg Config) (*Result, error) {
 		// committer, which injects stalled waves and transient failures.
 		r.dir = directory.New(directory.Config{})
 		var committer directory.Committer = r.dir
+		if cfg.DirCommitter != nil {
+			c, err := cfg.DirCommitter(r.dir)
+			if err != nil {
+				return nil, fmt.Errorf("opsim: directory committer: %w", err)
+			}
+			committer = c
+		}
 		if cfg.Fault != nil {
-			r.flaky = fault.NewFlakyDirectory(r.dir, cfg.Fault)
+			r.flaky = fault.NewFlakyCommitter(r.dir, committer, cfg.Fault)
 			committer = r.flaky
 		}
 		r.pub = directory.NewPublisher(committer)
 		r.pub.SetShards(cfg.Sim.K)
+		if cfg.DirHints != nil {
+			r.pub.AttachHints(cfg.DirHints)
+		}
 		// Merge waves remap retired sticky assignments too; routing those
 		// through the tier-preserving SetCold lane keeps dead history out
 		// of the directory's hot tier.
@@ -442,6 +468,7 @@ func (r *runner) run() (*Result, error) {
 	if r.dir != nil {
 		st := r.dir.Stats()
 		r.res.DirectoryStats = &st
+		r.res.DirectoryView = r.dir.Current()
 	}
 	if r.cfg.Capture {
 		r.captureArtifacts()

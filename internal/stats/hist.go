@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// LatencyHist is a fixed-bucket log-scale histogram for non-negative
+// integer samples (nanoseconds, typically). Values below 16 get unit
+// buckets; above that, every octave is subdivided into 16 sub-buckets, so
+// any quantile is exact to within a 1/16 (6.25%) relative error — a
+// replacement for sampled percentile estimates that keeps every
+// observation and has no sampling bias. The zero value is ready to use.
+//
+// Record/Quantile are not synchronised: keep one LatencyHist per recording
+// goroutine and Merge them afterwards.
+type LatencyHist struct {
+	counts [latencyBuckets]int64
+	total  int64
+}
+
+const (
+	latencySubBits = 4
+	latencySub     = 1 << latencySubBits
+	// Unit buckets for [0,16), then 16 sub-buckets per octave for
+	// exponents 4..62 — the last bucket's upper bound is MaxInt64.
+	latencyBuckets = latencySub + (63-latencySubBits)*latencySub
+)
+
+// latencyBucket maps a sample to its bucket index.
+func latencyBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < latencySub {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // position of the top set bit, ≥ latencySubBits
+	sub := int((u >> (uint(e) - latencySubBits)) & (latencySub - 1))
+	return latencySub + (e-latencySubBits)*latencySub + sub
+}
+
+// latencyBucketMax returns the largest sample value mapping to bucket i —
+// the value Quantile reports, so quantiles are conservative (never under-
+// report) within the bucket's 6.25% width.
+func latencyBucketMax(i int) int64 {
+	if i < latencySub {
+		return int64(i)
+	}
+	e := uint(latencySubBits + (i-latencySub)/latencySub)
+	sub := uint64((i - latencySub) % latencySub)
+	lo := uint64(1)<<e | sub<<(e-latencySubBits)
+	return int64(lo + 1<<(e-latencySubBits) - 1)
+}
+
+// Record adds one sample.
+func (h *LatencyHist) Record(v int64) {
+	h.counts[latencyBucket(v)]++
+	h.total++
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() int64 { return h.total }
+
+// Merge adds o's samples into h.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) as the upper bound of the
+// bucket holding the rank-⌈p·n⌉ sample. Zero when empty.
+func (h *LatencyHist) Quantile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return latencyBucketMax(i)
+		}
+	}
+	return latencyBucketMax(latencyBuckets - 1)
+}

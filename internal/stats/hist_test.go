@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLatencyHistSmallValuesExact(t *testing.T) {
+	var h LatencyHist
+	for v := int64(0); v < 16; v++ {
+		h.Record(v)
+	}
+	for v := int64(0); v < 16; v++ {
+		p := (float64(v) + 0.5) / 16
+		if got := h.Quantile(p); got != v {
+			t.Errorf("quantile %.3f = %d, want %d (unit buckets must be exact)", p, got, v)
+		}
+	}
+	if h.Count() != 16 {
+		t.Errorf("count = %d, want 16", h.Count())
+	}
+}
+
+func TestLatencyHistRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h LatencyHist
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, the shape of a latency tail.
+		v := int64(math.Exp(rng.Float64() * 14))
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(p * float64(len(samples)))
+		if rank < 1 {
+			rank = 1
+		}
+		want := samples[rank-1]
+		got := h.Quantile(p)
+		// The reported value is the bucket's upper bound: never below the
+		// true quantile, and at most one sub-bucket (6.25%) above it.
+		if got < want {
+			t.Errorf("p%.3f = %d underreports true %d", p, got, want)
+		}
+		if float64(got) > float64(want)*(1+1.0/16)+1 {
+			t.Errorf("p%.3f = %d exceeds true %d by more than 6.25%%", p, got, want)
+		}
+	}
+}
+
+func TestLatencyHistBucketRoundTrip(t *testing.T) {
+	// Every bucket's reported upper bound must map back to that bucket,
+	// and bucket boundaries must be monotone.
+	prev := int64(-1)
+	for i := 0; i < latencyBuckets; i++ {
+		ub := latencyBucketMax(i)
+		if latencyBucket(ub) != i {
+			t.Fatalf("bucket %d upper bound %d maps to bucket %d", i, ub, latencyBucket(ub))
+		}
+		if ub <= prev {
+			t.Fatalf("bucket %d upper bound %d not increasing (prev %d)", i, ub, prev)
+		}
+		prev = ub
+	}
+	if latencyBucket(math.MaxInt64) >= latencyBuckets {
+		t.Fatal("MaxInt64 overflows the bucket table")
+	}
+	if latencyBucket(-5) != 0 {
+		t.Fatal("negative samples must clamp to bucket 0")
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	var a, b, whole LatencyHist
+	for i := int64(0); i < 1000; i++ {
+		v := i * i
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), whole.Count())
+	}
+	for _, p := range []float64{0.1, 0.5, 0.99} {
+		if a.Quantile(p) != whole.Quantile(p) {
+			t.Errorf("merged quantile %.2f = %d, want %d", p, a.Quantile(p), whole.Quantile(p))
+		}
+	}
+}
